@@ -1,0 +1,57 @@
+// Shared helpers for the figure-reproduction benches.
+#ifndef SLIM_BENCH_BENCH_UTIL_H_
+#define SLIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "slim.h"
+
+namespace slim::bench {
+
+/// Prints the standard figure header with the bench scale.
+inline void PrintHeader(const char* figure, const char* what,
+                        const char* expectation) {
+  const char* scale =
+      BenchScaleFromEnv() == BenchScale::kFull ? "full" : "small";
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("scale: %s (set SLIM_BENCH_SCALE=full for paper-scale runs)\n",
+              scale);
+  std::printf("paper shape to reproduce: %s\n", expectation);
+  std::printf("==================================================\n");
+}
+
+/// Default sampling options for the Cab-style experiments.
+inline PairSampleOptions CabSampleOptions(BenchScale scale) {
+  PairSampleOptions opt;
+  opt.entities_per_side = scale == BenchScale::kFull ? 265 : 60;
+  opt.intersection_ratio = 0.5;
+  opt.inclusion_probability = 0.5;
+  opt.seed = 11;
+  return opt;
+}
+
+/// Default sampling options for the SM-style experiments.
+inline PairSampleOptions SmSampleOptions(BenchScale scale) {
+  PairSampleOptions opt;
+  opt.entities_per_side = scale == BenchScale::kFull ? 30000 : 800;
+  opt.intersection_ratio = 0.5;
+  opt.inclusion_probability = 0.5;
+  opt.seed = 12;
+  return opt;
+}
+
+/// SLIM defaults used across the benches (paper defaults).
+inline SlimConfig DefaultSlimConfig() {
+  SlimConfig cfg;
+  cfg.history.spatial_level = 12;
+  cfg.history.window_seconds = 900;
+  cfg.similarity.b = 0.5;
+  cfg.use_lsh = false;  // figures enable/parameterise LSH explicitly
+  return cfg;
+}
+
+}  // namespace slim::bench
+
+#endif  // SLIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+// Figure 9: LSH speed-up as a function of the number of hash buckets, for
+// different LSH similarity thresholds — Cab and SM.
+//
+// Paper shape: more buckets -> fewer accidental hash collisions -> larger
+// speed-up, saturating once collisions vanish; higher similarity
+// thresholds t also increase the speed-up (fewer candidates); relative F1
+// is unaffected by the bucket count itself.
+#include "bench_util.h"
+#include "eval/table.h"
+
+namespace slim {
+namespace {
+
+void RunDataset(const char* name, const LocationDataset& master,
+                PairSampleOptions sample_opt) {
+  std::printf("\n--- %s ---\n", name);
+  auto sample = SampleLinkedPair(master, sample_opt);
+  SLIM_CHECK_MSG(sample.ok(), sample.status().ToString().c_str());
+
+  const int history_level = 16;
+  SlimConfig bf = bench::DefaultSlimConfig();
+  bf.history.spatial_level = history_level;
+  auto r_bf = SlimLinker(bf).Link(sample->a, sample->b);
+  SLIM_CHECK_MSG(r_bf.ok(), r_bf.status().ToString().c_str());
+  const uint64_t cmp_bf = r_bf->stats.record_comparisons;
+  const double f1_bf = EvaluateLinks(r_bf->links, sample->truth).f1;
+
+  TablePrinter table(
+      {"threshold_t", "buckets", "speedup", "relative_f1"});
+  for (double t : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+    for (size_t buckets : {size_t{1} << 8, size_t{1} << 12, size_t{1} << 16,
+                           size_t{1} << 20}) {
+      SlimConfig cfg = bf;
+      cfg.use_lsh = true;
+      cfg.lsh.signature_spatial_level = 16;
+      cfg.lsh.temporal_step_windows = 48;
+      cfg.lsh.similarity_threshold = t;
+      cfg.lsh.num_buckets = buckets;
+      auto r = SlimLinker(cfg).Link(sample->a, sample->b);
+      SLIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+      const double speedup =
+          r->stats.record_comparisons > 0
+              ? static_cast<double>(cmp_bf) /
+                    static_cast<double>(r->stats.record_comparisons)
+              : static_cast<double>(cmp_bf);
+      const double f1 = EvaluateLinks(r->links, sample->truth).f1;
+      table.AddRow({Fmt(t, 1), FormatWithCommas(static_cast<int64_t>(buckets)),
+                    Fmt(speedup, 1), Fmt(f1_bf > 0 ? f1 / f1_bf : 0.0, 3)});
+    }
+  }
+  table.Print();
+}
+
+void Run() {
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::PrintHeader(
+      "Figure 9", "LSH speed-up vs number of hash buckets, per similarity "
+      "threshold t — Cab and SM",
+      "speed-up grows with the bucket count then saturates; larger t gives "
+      "larger speed-up; SM speed-ups are much larger than Cab's");
+
+  RunDataset("Cab", CachedCabMaster(scale), bench::CabSampleOptions(scale));
+  RunDataset("SM", CachedCheckinMaster(scale), bench::SmSampleOptions(scale));
+}
+
+}  // namespace
+}  // namespace slim
+
+int main() { slim::Run(); }

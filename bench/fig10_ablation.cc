@@ -1,0 +1,119 @@
+// Figure 10: ablation study — F1 as a function of the spatial level
+// (15-minute windows) and of the window width (level 12), for five
+// variants of SLIM:
+//   Original          — full scoring (MNN + MFN alibi pass + IDF + norm)
+//   MNN               — MFN alibi pass removed
+//   All_Pairs         — Cartesian-product pairing instead of MNN
+//   No_IDF            — idf multiplier removed
+//   No_Normalization  — BM25-style length normalisation removed
+//
+// Paper shape: all variants agree at narrow windows; All_Pairs collapses
+// at wide windows (0.61 vs 0.90 F1 at 720 min); No_Normalization falls
+// behind at high spatial detail; No_IDF falls behind at wide windows.
+#include <functional>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+namespace slim {
+namespace {
+
+struct Variant {
+  const char* name;
+  std::function<void(SimilarityConfig*)> apply;
+};
+
+const Variant kVariants[] = {
+    {"Original", [](SimilarityConfig*) {}},
+    {"MNN", [](SimilarityConfig* c) { c->use_mfn = false; }},
+    {"All_Pairs",
+     [](SimilarityConfig* c) {
+       c->pairing = PairingKind::kAllPairs;
+       c->use_mfn = false;
+     }},
+    {"No_IDF", [](SimilarityConfig* c) { c->use_idf = false; }},
+    {"No_Normalization",
+     [](SimilarityConfig* c) { c->use_normalization = false; }},
+};
+
+void Run() {
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::PrintHeader(
+      "Figure 10", "ablation: F1 vs spatial level and vs window width — Cab",
+      "variants tie at 15-min windows; All_Pairs degrades sharply at wide "
+      "windows; No_Normalization degrades at high spatial detail; No_IDF "
+      "degrades at wide windows");
+
+  const LocationDataset& master = CachedCabMaster(scale);
+  auto sample = SampleLinkedPair(master, bench::CabSampleOptions(scale));
+  SLIM_CHECK_MSG(sample.ok(), sample.status().ToString().c_str());
+
+  auto run_one = [&](const Variant& v, int level, int64_t window_min) {
+    SlimConfig cfg = bench::DefaultSlimConfig();
+    cfg.history.spatial_level = level;
+    cfg.history.window_seconds = window_min * 60;
+    v.apply(&cfg.similarity);
+    auto r = SlimLinker(cfg).Link(sample->a, sample->b);
+    SLIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    return EvaluateLinks(r->links, sample->truth).f1;
+  };
+
+  std::printf("\n--- (a) F1 vs spatial level (window = 15 min) ---\n");
+  {
+    TablePrinter table({"variant", "L8", "L10", "L12", "L14", "L16", "L20",
+                        "L24"});
+    for (const Variant& v : kVariants) {
+      std::vector<std::string> row = {v.name};
+      for (int level : {8, 10, 12, 14, 16, 20, 24}) {
+        row.push_back(Fmt(run_one(v, level, 15), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  std::printf("\n--- (b) F1 vs window width in minutes (level = 12) ---\n");
+  {
+    TablePrinter table({"variant", "W5", "W15", "W60", "W120", "W240",
+                        "W480", "W720"});
+    for (const Variant& v : kVariants) {
+      std::vector<std::string> row = {v.name};
+      for (int64_t w : {5, 15, 60, 120, 240, 480, 720}) {
+        row.push_back(Fmt(run_one(v, 12, w), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  // Sec. 5.4's MFN observation: the optional MFN pass lowers the scores of
+  // false-positive pairs. We report the positive-score edges between
+  // NON-matching entities in the candidate graph — with the alibi pass on,
+  // fewer wrong pairs survive with a positive score and their mean drops.
+  std::printf("\n--- MFN effect on false-positive pair scores "
+              "(level 12, window 15 min) ---\n");
+  for (bool use_mfn : {true, false}) {
+    SlimConfig cfg = bench::DefaultSlimConfig();
+    cfg.history.spatial_level = 12;
+    cfg.history.window_seconds = 900;
+    cfg.similarity.use_mfn = use_mfn;
+    auto r = SlimLinker(cfg).Link(sample->a, sample->b);
+    SLIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    double fp_sum = 0.0;
+    size_t fp_n = 0;
+    for (const auto& e : r->graph.edges()) {
+      if (!sample->truth.AreLinked(e.u, e.v)) {
+        fp_sum += e.weight;
+        ++fp_n;
+      }
+    }
+    std::printf("use_mfn=%d  positive-score FP edges: %zu, mean score %.2f\n",
+                use_mfn, fp_n,
+                fp_n > 0 ? fp_sum / static_cast<double>(fp_n) : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace slim
+
+int main() { slim::Run(); }

@@ -1,0 +1,87 @@
+// Operating the scalability layer: auto-tune the spatial level (Sec. 3.3)
+// and pick LSH parameters with the S-curve math (Sec. 4).
+//
+// Walks through what a deployment would do before a big linkage run:
+// 1. auto-detect the spatial level for the chosen window width,
+// 2. inspect the Lambert-W band sizing and collision S-curve for a few
+//    candidate LSH thresholds,
+// 3. run the linkage with and without LSH and report the cost/quality
+//    trade actually realised.
+#include <cstdio>
+
+#include "slim.h"
+
+int main() {
+  slim::CabGeneratorOptions gen;
+  gen.num_taxis = 60;
+  gen.duration_days = 2.0;
+  gen.record_interval_seconds = 300.0;
+  const slim::LocationDataset master = slim::GenerateCabDataset(gen);
+
+  slim::PairSampleOptions sampling;
+  sampling.entities_per_side = 35;
+  auto sample = slim::SampleLinkedPair(master, sampling);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Step 1: spatial level auto-tuning (Sec. 3.3). ---
+  slim::TuningOptions tuning;
+  tuning.window_seconds = 900;
+  auto level = slim::AutoTuneSpatialLevelForPair(sample->a, sample->b,
+                                                 tuning);
+  if (!level.ok()) {
+    std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("auto-tuned spatial level for 15-minute windows: %d\n\n",
+              *level);
+
+  // --- Step 2: banding math for the LSH layer (Sec. 4). ---
+  // With 2-hour queries over this dataset's span, the signature length is
+  // span / step; size the bands for a few thresholds.
+  const auto [t_lo, t_hi] = sample->a.TimeRange();
+  const size_t signature_size = static_cast<size_t>(
+      ((t_hi - t_lo) / 900 + 1 + 7) / 8);  // 8-leaf-window queries
+  std::printf("signature length at 2-hour queries: %zu\n", signature_size);
+  std::printf("%-12s %-7s %-6s %-22s\n", "threshold t", "bands", "rows",
+              "P(collide) at s=t / s=t+-0.2");
+  for (double t : {0.4, 0.6, 0.8}) {
+    const int b = slim::ComputeNumBands(signature_size, t);
+    const int r = static_cast<int>((signature_size +
+                                    static_cast<size_t>(b) - 1) /
+                                   static_cast<size_t>(b));
+    std::printf("%-12.1f %-7d %-6d %.2f / %.2f / %.2f\n", t, b, r,
+                slim::BandCollisionProbability(t - 0.2, r, b),
+                slim::BandCollisionProbability(t, r, b),
+                slim::BandCollisionProbability(t + 0.2 > 1 ? 1 : t + 0.2, r,
+                                               b));
+  }
+
+  // --- Step 3: realised cost/quality with and without LSH. ---
+  std::printf("\n%-10s %-10s %-12s %-18s %s\n", "mode", "F1", "links",
+              "record_compares", "seconds");
+  for (bool use_lsh : {false, true}) {
+    slim::SlimConfig config;
+    config.history.spatial_level = *level;
+    config.use_lsh = use_lsh;
+    config.lsh.signature_spatial_level = 10;
+    config.lsh.temporal_step_windows = 8;
+    config.lsh.similarity_threshold = 0.4;
+    auto result = slim::SlimLinker(config).Link(sample->a, sample->b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const slim::LinkageQuality q =
+        slim::EvaluateLinks(result->links, sample->truth);
+    std::printf("%-10s %-10.3f %-12zu %-18s %.3f\n",
+                use_lsh ? "LSH" : "brute", q.f1, result->links.size(),
+                slim::FormatWithCommas(
+                    static_cast<int64_t>(result->stats.record_comparisons))
+                    .c_str(),
+                result->seconds_total);
+  }
+  return 0;
+}

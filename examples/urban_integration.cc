@@ -1,0 +1,109 @@
+// Urban data integration: fuse two partial mobility datasets into one
+// unified view (the paper's urban-planning motivation, Sec. 1).
+//
+// Two sensing systems observe the same fleet — say, a taxi-meter feed and a
+// wifi-positioning feed — each catching only part of each vehicle's
+// movement. Counting either feed alone under- or over-estimates density.
+// SLIM links the entities across the feeds; the example then merges each
+// linked pair's records and compares hourly coverage of the unified
+// dataset against the single-feed views.
+#include <cstdio>
+#include <unordered_map>
+
+#include "slim.h"
+
+int main() {
+  slim::CabGeneratorOptions gen;
+  gen.num_taxis = 50;
+  gen.duration_days = 2.0;
+  gen.record_interval_seconds = 300.0;
+  const slim::LocationDataset fleet = slim::GenerateCabDataset(gen);
+
+  // Two sensing systems: asynchronous sightings of the same fleet.
+  slim::PairSampleOptions sampling;
+  sampling.entities_per_side = 30;
+  sampling.intersection_ratio = 0.8;
+  sampling.inclusion_probability = 0.4;
+  auto sample = slim::SampleLinkedPair(fleet, sampling);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
+  }
+  const slim::LocationDataset& meter_feed = sample->a;
+  const slim::LocationDataset& wifi_feed = sample->b;
+
+  // Link the feeds.
+  slim::SlimConfig config;
+  const slim::SlimLinker linker(config);
+  auto result = linker.Link(meter_feed, wifi_feed);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  size_t correct = 0;
+  for (const auto& link : result->links) {
+    correct += sample->truth.AreLinked(link.u, link.v) ? 1 : 0;
+  }
+  std::printf("linked %zu vehicle identities across the two feeds "
+              "(%zu verified correct)\n\n",
+              result->links.size(), correct);
+
+  // Build the unified dataset: merged records for linked vehicles, plus
+  // the unlinked remainder of both feeds under fresh ids.
+  slim::LocationDataset unified("unified");
+  std::unordered_map<slim::EntityId, slim::EntityId> meter_to_unified;
+  std::unordered_map<slim::EntityId, slim::EntityId> wifi_to_unified;
+  slim::EntityId next_id = 0;
+  for (const auto& link : result->links) {
+    meter_to_unified[link.u] = next_id;
+    wifi_to_unified[link.v] = next_id;
+    ++next_id;
+  }
+  for (slim::EntityId e : meter_feed.entity_ids()) {
+    if (!meter_to_unified.count(e)) meter_to_unified[e] = next_id++;
+  }
+  for (slim::EntityId e : wifi_feed.entity_ids()) {
+    if (!wifi_to_unified.count(e)) wifi_to_unified[e] = next_id++;
+  }
+  for (const slim::Record& r : meter_feed.records()) {
+    unified.Add(meter_to_unified.at(r.entity), r.location, r.timestamp);
+  }
+  for (const slim::Record& r : wifi_feed.records()) {
+    unified.Add(wifi_to_unified.at(r.entity), r.location, r.timestamp);
+  }
+  unified.Finalize();
+
+  // Without linkage, a naive union would double-count every linked
+  // vehicle.
+  const size_t naive_union =
+      meter_feed.num_entities() + wifi_feed.num_entities();
+  std::printf("fleet size estimates\n");
+  std::printf("  meter feed alone:         %zu vehicles\n",
+              meter_feed.num_entities());
+  std::printf("  wifi feed alone:          %zu vehicles\n",
+              wifi_feed.num_entities());
+  std::printf("  naive union (no linkage): %zu vehicles (double-counts)\n",
+              naive_union);
+  std::printf("  unified via SLIM:         %zu vehicles\n\n",
+              unified.num_entities());
+
+  // Coverage: mean observed sightings per vehicle per 6h bucket.
+  auto coverage = [](const slim::LocationDataset& ds) {
+    if (ds.num_entities() == 0) return 0.0;
+    std::unordered_map<int64_t, size_t> per_bucket;
+    for (const slim::Record& r : ds.records()) {
+      ++per_bucket[slim::WindowIndexOf(r.timestamp, 6 * 3600)];
+    }
+    double total = 0.0;
+    for (const auto& [bucket, n] : per_bucket) {
+      total += static_cast<double>(n);
+    }
+    return total / (static_cast<double>(per_bucket.size()) *
+                    static_cast<double>(ds.num_entities()));
+  };
+  std::printf("sightings per vehicle per 6-hour bucket\n");
+  std::printf("  meter feed alone: %.1f\n", coverage(meter_feed));
+  std::printf("  wifi feed alone:  %.1f\n", coverage(wifi_feed));
+  std::printf("  unified:          %.1f\n", coverage(unified));
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "baselines/gm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "geo/cell_id.h"
+#include "stats/gmm2d.h"
+#include "temporal/time_window.h"
+
+namespace slim {
+namespace {
+
+constexpr double kDegToRad = 0.017453292519943295;
+constexpr double kMetersPerDegLat = 111194.9266;  // mean, spherical
+
+// Per-entity mobility model.
+struct EntityModel {
+  EntityId entity = 0;
+  // Local equirectangular projection frame (meters around the centroid).
+  double ref_lat = 0.0;
+  double ref_lng = 0.0;
+  double cos_ref = 1.0;
+  GaussianMixture2D spatial;
+  // Markov transitions over coarse cells: state -> (next -> count).
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint32_t>>
+      transitions;
+  std::unordered_map<uint64_t, uint32_t> state_totals;
+  size_t num_states = 0;
+
+  Point2 Project(const LatLng& p) const {
+    return {(p.lng_deg - ref_lng) * cos_ref * kMetersPerDegLat,
+            (p.lat_deg - ref_lat) * kMetersPerDegLat};
+  }
+
+  // Smoothed log P(from -> to).
+  double TransitionLogProb(uint64_t from, uint64_t to, double smoothing) const {
+    const double states =
+        static_cast<double>(std::max<size_t>(num_states, 1));
+    const auto it = transitions.find(from);
+    double count = 0.0, total = 0.0;
+    if (it != transitions.end()) {
+      const auto jt = it->second.find(to);
+      if (jt != it->second.end()) count = jt->second;
+      total = static_cast<double>(state_totals.at(from));
+    }
+    return std::log((count + smoothing) / (total + smoothing * states));
+  }
+};
+
+EntityModel FitEntityModel(EntityId entity, std::span<const Record> records,
+                           const GmConfig& config) {
+  EntityModel m;
+  m.entity = entity;
+  SLIM_CHECK(!records.empty());
+
+  double lat = 0.0, lng = 0.0;
+  for (const Record& r : records) {
+    lat += r.location.lat_deg;
+    lng += r.location.lng_deg;
+  }
+  m.ref_lat = lat / static_cast<double>(records.size());
+  m.ref_lng = lng / static_cast<double>(records.size());
+  m.cos_ref = std::cos(m.ref_lat * kDegToRad);
+
+  std::vector<Point2> pts;
+  pts.reserve(records.size());
+  for (const Record& r : records) pts.push_back(m.Project(r.location));
+  Gmm2DFitOptions fit;
+  fit.num_components = config.num_components;
+  auto gmm = FitGmm2D(pts, fit);
+  SLIM_CHECK_MSG(gmm.ok(), "per-entity GMM fit failed");
+  m.spatial = std::move(gmm.value());
+
+  // Markov chain over the dominant cell per window (records are sorted by
+  // timestamp within an entity).
+  uint64_t prev_state = 0;
+  int64_t prev_window = std::numeric_limits<int64_t>::min();
+  std::unordered_map<uint64_t, char> seen_states;
+  for (const Record& r : records) {
+    const int64_t w = WindowIndexOf(r.timestamp, config.window_seconds);
+    const uint64_t state =
+        CellId::FromLatLng(r.location, config.markov_level).raw();
+    seen_states[state] = 1;
+    if (prev_window != std::numeric_limits<int64_t>::min() &&
+        w == prev_window + 1) {
+      ++m.transitions[prev_state][state];
+      ++m.state_totals[prev_state];
+    }
+    if (w != prev_window) {
+      prev_window = w;
+      prev_state = state;
+    }
+  }
+  m.num_states = seen_states.size();
+  return m;
+}
+
+// Average log-likelihood of `records` under `model` (spatial + Markov).
+double CrossLogLikelihood(const EntityModel& model,
+                          std::span<const Record> records,
+                          const GmConfig& config, uint64_t* evaluations) {
+  SLIM_CHECK(!records.empty());
+  double spatial = 0.0;
+  for (const Record& r : records) {
+    spatial += model.spatial.LogPdf(model.Project(r.location));
+    ++*evaluations;
+  }
+  spatial /= static_cast<double>(records.size());
+
+  double markov = 0.0;
+  size_t steps = 0;
+  int64_t prev_window = std::numeric_limits<int64_t>::min();
+  uint64_t prev_state = 0;
+  for (const Record& r : records) {
+    const int64_t w = WindowIndexOf(r.timestamp, config.window_seconds);
+    const uint64_t state =
+        CellId::FromLatLng(r.location, config.markov_level).raw();
+    if (prev_window != std::numeric_limits<int64_t>::min() &&
+        w == prev_window + 1) {
+      markov += model.TransitionLogProb(prev_state, state,
+                                        config.transition_smoothing);
+      ++steps;
+    }
+    if (w != prev_window) {
+      prev_window = w;
+      prev_state = state;
+    }
+  }
+  if (steps > 0) markov /= static_cast<double>(steps);
+  return spatial + config.markov_weight * markov;
+}
+
+}  // namespace
+
+GmLinker::GmLinker(GmConfig config) : config_(std::move(config)) {
+  SLIM_CHECK_MSG(config_.num_components >= 1, "num_components must be >= 1");
+  SLIM_CHECK_MSG(config_.window_seconds > 0, "window width must be positive");
+}
+
+Result<GmResult> GmLinker::Link(const LocationDataset& dataset_e,
+                                const LocationDataset& dataset_i) const {
+  if (!dataset_e.finalized() || !dataset_i.finalized()) {
+    return Status::FailedPrecondition("datasets must be finalized");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  GmResult result;
+
+  // Fit one model per entity on both sides.
+  std::vector<EntityModel> models_e, models_i;
+  models_e.reserve(dataset_e.num_entities());
+  for (EntityId e : dataset_e.entity_ids()) {
+    models_e.push_back(FitEntityModel(e, dataset_e.RecordsOf(e), config_));
+  }
+  models_i.reserve(dataset_i.num_entities());
+  for (EntityId e : dataset_i.entity_ids()) {
+    models_i.push_back(FitEntityModel(e, dataset_i.RecordsOf(e), config_));
+  }
+  if (models_e.empty() || models_i.empty()) {
+    result.seconds_total = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t_start)
+                               .count();
+    return result;
+  }
+
+  // Score every cross pair (GM has no blocking / filtering step).
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  std::vector<std::vector<WeightedEdge>> shard_edges(
+      static_cast<size_t>(threads));
+  std::vector<uint64_t> shard_evals(static_cast<size_t>(threads), 0);
+  ParallelFor(
+      models_e.size(),
+      [&](size_t begin, size_t end, int shard) {
+        auto& edges = shard_edges[static_cast<size_t>(shard)];
+        uint64_t* evals = &shard_evals[static_cast<size_t>(shard)];
+        for (size_t a = begin; a < end; ++a) {
+          const auto ru = dataset_e.RecordsOf(models_e[a].entity);
+          for (const EntityModel& mv : models_i) {
+            const auto rv = dataset_i.RecordsOf(mv.entity);
+            const double s =
+                0.5 * CrossLogLikelihood(models_e[a], rv, config_, evals) +
+                0.5 * CrossLogLikelihood(mv, ru, config_, evals);
+            edges.push_back({models_e[a].entity, mv.entity, s});
+          }
+        }
+      },
+      threads);
+  for (int shard = 0; shard < threads; ++shard) {
+    result.record_comparisons += shard_evals[static_cast<size_t>(shard)];
+    for (const auto& e : shard_edges[static_cast<size_t>(shard)]) {
+      result.graph.AddEdge(e.u, e.v, e.weight);
+    }
+  }
+
+  // SLIM's matching + stop threshold over GM's scores (paper Sec. 5.5).
+  const Matching matching = GreedyMaxWeightMatching(result.graph);
+  std::vector<double> weights;
+  weights.reserve(matching.pairs.size());
+  for (const auto& e : matching.pairs) weights.push_back(e.weight);
+  double cutoff = -std::numeric_limits<double>::infinity();
+  auto decision = DetectStopThreshold(weights);
+  if (decision.ok()) {
+    result.threshold = std::move(decision.value());
+    result.threshold_valid = true;
+    cutoff = result.threshold.threshold;
+  }
+  for (const auto& e : matching.pairs) {
+    if (e.weight > cutoff) result.links.push_back({e.u, e.v, e.weight});
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const LinkedEntityPair& a, const LinkedEntityPair& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+
+  result.seconds_total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace slim

@@ -1,0 +1,215 @@
+#include "baselines/st_link.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/history.h"
+#include "geo/distance_cache.h"
+#include "stats/kneedle.h"
+#include "temporal/time_window.h"
+
+namespace slim {
+namespace {
+
+// Per-pair accumulation state.
+struct PairStats {
+  uint32_t cooccurrences = 0;
+  uint32_t alibis = 0;
+  std::unordered_set<uint64_t> diverse_cells;  // cells where co-occurring
+};
+
+// Elbow detection over a count distribution: x = candidate minimum value,
+// y = number of pairs reaching at least x (a convex decreasing survival
+// curve). Falls back to `fallback` when no elbow exists.
+uint32_t DetectMinimum(const std::vector<uint32_t>& values,
+                       uint32_t fallback) {
+  if (values.empty()) return fallback;
+  std::map<uint32_t, uint64_t> freq;
+  for (uint32_t v : values) ++freq[v];
+  std::vector<double> xs, ys;
+  uint64_t remaining = values.size();
+  for (const auto& [value, count] : freq) {
+    xs.push_back(static_cast<double>(value));
+    ys.push_back(static_cast<double>(remaining));  // pairs with >= value
+    remaining -= count;
+  }
+  if (xs.size() < 3) return fallback;
+  KneedleOptions ko;
+  ko.curve = KneedleCurve::kConvexDecreasing;
+  const auto elbow = FindKneedle(xs, ys, ko);
+  if (!elbow.has_value()) return fallback;
+  return static_cast<uint32_t>(xs[*elbow]);
+}
+
+}  // namespace
+
+StLinkLinker::StLinkLinker(StLinkConfig config) : config_(std::move(config)) {
+  SLIM_CHECK_MSG(config_.window_seconds > 0, "window width must be positive");
+  SLIM_CHECK_MSG(config_.co_location_radius_m > 0,
+                 "co-location radius must be positive");
+}
+
+Result<StLinkResult> StLinkLinker::Link(const LocationDataset& dataset_e,
+                                        const LocationDataset& dataset_i) const {
+  if (!dataset_e.finalized() || !dataset_i.finalized()) {
+    return Status::FailedPrecondition("datasets must be finalized");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  StLinkResult result;
+
+  // Reuse the history representation as the windowed-bin index.
+  HistoryConfig hc;
+  hc.spatial_level = config_.spatial_level;
+  hc.window_seconds = config_.window_seconds;
+  const HistorySet set_e = HistorySet::Build(dataset_e, hc);
+  const HistorySet set_i = HistorySet::Build(dataset_i, hc);
+  const double runaway =
+      RunawayDistanceMeters(config_.window_seconds, config_.max_speed_mps);
+
+  // Window -> active histories, for blocking.
+  std::unordered_map<int64_t, std::vector<const MobilityHistory*>> active_i;
+  for (const auto& h : set_i.histories()) {
+    for (int64_t w : h.windows()) active_i[w].push_back(&h);
+  }
+
+  // Accumulate pair statistics, parallel over the left side.
+  const auto& lefts = set_e.histories();
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  struct Shard {
+    std::unordered_map<uint64_t, PairStats> pairs;  // (u_idx<<32)|v_idx key
+    uint64_t comparisons = 0;
+  };
+  std::vector<Shard> shards(static_cast<size_t>(threads));
+  std::unordered_map<EntityId, uint32_t> right_index;
+  {
+    uint32_t idx = 0;
+    for (const auto& h : set_i.histories()) right_index[h.entity()] = idx++;
+  }
+
+  ParallelFor(
+      lefts.size(),
+      [&](size_t begin, size_t end, int shard_id) {
+        Shard& shard = shards[static_cast<size_t>(shard_id)];
+        CellDistanceCache cache;
+        for (size_t k = begin; k < end; ++k) {
+          const MobilityHistory& hu = lefts[k];
+          for (int64_t w : hu.windows()) {
+            const auto it = active_i.find(w);
+            if (it == active_i.end()) continue;
+            const auto bins_u = hu.BinsInWindow(w);
+            for (const MobilityHistory* hv : it->second) {
+              const auto bins_v = hv->BinsInWindow(w);
+              const uint64_t key =
+                  (static_cast<uint64_t>(k) << 32) |
+                  right_index.at(hv->entity());
+              PairStats& ps = shard.pairs[key];
+              for (const auto& bu : bins_u) {
+                for (const auto& bv : bins_v) {
+                  ++shard.comparisons;
+                  const double d = cache.Get(bu.cell, bv.cell);
+                  if (d <= config_.co_location_radius_m) {
+                    ++ps.cooccurrences;
+                    ps.diverse_cells.insert(bu.cell.raw());
+                  } else if (d > runaway) {
+                    ++ps.alibis;
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      threads);
+
+  // Merge shards (left indices are disjoint across shards, so no key ever
+  // collides; still merge defensively).
+  std::unordered_map<uint64_t, PairStats> pairs;
+  for (Shard& s : shards) {
+    result.record_comparisons += s.comparisons;
+    for (auto& [key, ps] : s.pairs) {
+      auto [it, inserted] = pairs.try_emplace(key, std::move(ps));
+      if (!inserted) {
+        it->second.cooccurrences += ps.cooccurrences;
+        it->second.alibis += ps.alibis;
+        it->second.diverse_cells.insert(ps.diverse_cells.begin(),
+                                        ps.diverse_cells.end());
+      }
+    }
+  }
+
+  // Auto-detect k and l when requested.
+  std::vector<uint32_t> k_values, l_values;
+  for (const auto& [key, ps] : pairs) {
+    if (ps.cooccurrences > 0) {
+      k_values.push_back(ps.cooccurrences);
+      l_values.push_back(static_cast<uint32_t>(ps.diverse_cells.size()));
+    }
+  }
+  result.k_used = config_.min_cooccurrences != 0
+                      ? config_.min_cooccurrences
+                      : DetectMinimum(k_values, /*fallback=*/3);
+  result.l_used = config_.min_diversity != 0
+                      ? config_.min_diversity
+                      : DetectMinimum(l_values, /*fallback=*/2);
+
+  // Qualifying pairs + candidate graph (weights = co-occurrence counts).
+  std::unordered_map<EntityId, std::vector<EntityId>> quals_by_u;
+  std::unordered_map<EntityId, std::vector<EntityId>> quals_by_v;
+  for (const auto& [key, ps] : pairs) {
+    const EntityId u =
+        lefts[static_cast<size_t>(key >> 32)].entity();
+    const EntityId v =
+        set_i.histories()[static_cast<size_t>(key & 0xffffffffULL)].entity();
+    if (ps.cooccurrences > 0) {
+      result.graph.AddEdge(u, v, static_cast<double>(ps.cooccurrences));
+    }
+    if (ps.cooccurrences >= result.k_used &&
+        ps.diverse_cells.size() >= result.l_used &&
+        ps.alibis <= config_.alibi_tolerance) {
+      quals_by_u[u].push_back(v);
+      quals_by_v[v].push_back(u);
+    }
+  }
+
+  // Ambiguity: any entity qualifying with more than one counterpart is
+  // dropped (both directions must be unique).
+  std::unordered_set<EntityId> ambiguous_u, ambiguous_v;
+  for (const auto& [u, vs] : quals_by_u) {
+    if (vs.size() > 1) ambiguous_u.insert(u);
+  }
+  for (const auto& [v, us] : quals_by_v) {
+    if (us.size() > 1) ambiguous_v.insert(v);
+  }
+  result.ambiguous_entities = ambiguous_u.size() + ambiguous_v.size();
+
+  for (const auto& [u, vs] : quals_by_u) {
+    if (ambiguous_u.count(u)) continue;
+    const EntityId v = vs.front();
+    if (ambiguous_v.count(v)) continue;
+    result.links.push_back({u, v, 0.0});
+  }
+  // Attach co-occurrence counts as scores.
+  {
+    std::unordered_map<EntityId, std::unordered_map<EntityId, double>> w;
+    for (const auto& e : result.graph.edges()) w[e.u][e.v] = e.weight;
+    for (auto& link : result.links) link.score = w[link.u][link.v];
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const LinkedEntityPair& a, const LinkedEntityPair& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+
+  result.seconds_total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace slim

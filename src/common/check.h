@@ -1,0 +1,43 @@
+// Precondition / invariant checking macros. Programming errors abort with a
+// message (both in debug and release); fallible inputs go through Status.
+#ifndef SLIM_COMMON_CHECK_H_
+#define SLIM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slim::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SLIM_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace slim::internal
+
+/// Aborts with a diagnostic if `cond` is false. Active in all build types:
+/// these guard API contracts, not hot inner loops.
+#define SLIM_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::slim::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+  } while (false)
+
+#define SLIM_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::slim::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define SLIM_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define SLIM_DCHECK(cond) SLIM_CHECK(cond)
+#endif
+
+#endif  // SLIM_COMMON_CHECK_H_

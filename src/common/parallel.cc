@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace slim {
+
+int DefaultThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hc, 1u, 8u));
+}
+
+void ParallelFor(size_t n,
+                 const std::function<void(size_t, size_t, int)>& fn,
+                 int threads) {
+  if (n == 0) return;
+  int t = threads > 0 ? threads : DefaultThreadCount();
+  t = static_cast<int>(std::min<size_t>(static_cast<size_t>(t), n));
+  if (t <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(t));
+  const size_t chunk = (n + static_cast<size_t>(t) - 1) / static_cast<size_t>(t);
+  for (int shard = 0; shard < t; ++shard) {
+    const size_t begin = static_cast<size_t>(shard) * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end, shard] { fn(begin, end, shard); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace slim

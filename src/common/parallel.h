@@ -1,0 +1,29 @@
+// Minimal data-parallel helper used by the pairwise scoring stage.
+//
+// ParallelFor splits [0, n) into contiguous shards and runs `fn(begin, end,
+// shard)` on a small pool of std::threads. The shard index lets callers keep
+// per-shard accumulators (stats counters, edge lists) and merge them
+// deterministically afterwards — results never depend on thread scheduling.
+#ifndef SLIM_COMMON_PARALLEL_H_
+#define SLIM_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace slim {
+
+/// Returns the library-wide default parallelism: min(hardware_concurrency, 8),
+/// at least 1. Override per call site via the `threads` argument.
+int DefaultThreadCount();
+
+/// Runs fn(begin, end, shard) over a contiguous partition of [0, n) on
+/// `threads` threads (<=0 means DefaultThreadCount()). Blocks until all
+/// shards complete. fn must be safe to call concurrently on disjoint ranges.
+/// With threads == 1 (or n small) the call runs inline with shard == 0.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t begin, size_t end, int shard)>& fn,
+                 int threads = 0);
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_PARALLEL_H_

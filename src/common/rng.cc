@@ -1,0 +1,138 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace slim {
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  SLIM_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  SLIM_CHECK_MSG(n > 0, "NextUint64 requires n > 0");
+  // Lemire-style rejection: accept values below the largest multiple of n.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  SLIM_CHECK_MSG(lo <= hi, "NextInt64 requires lo <= hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_ = v * factor;
+  has_gauss_ = true;
+  return u * factor;
+}
+
+double Rng::NextExponential(double lambda) {
+  SLIM_CHECK_MSG(lambda > 0.0, "NextExponential requires lambda > 0");
+  // Guard against log(0).
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double exponent) {
+  SLIM_CHECK_MSG(n > 0, "NextZipf requires n > 0");
+  if (n == 1) return 0;
+  if (exponent <= 0.0) return NextUint64(n);
+  // Devroye's rejection method over the continuous envelope.
+  const double s = exponent;
+  const double nd = static_cast<double>(n);
+  // H(x) = integral of x^-s; handle s == 1 separately.
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    return s == 1.0 ? std::exp(y) : std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hmax = h(nd + 0.5);
+  const double hmin = h(0.5);
+  for (;;) {
+    const double u = NextDouble(hmin, hmax);
+    const double x = h_inv(u);
+    const uint64_t k = static_cast<uint64_t>(x + 0.5);
+    const double kk = static_cast<double>(k == 0 ? 1 : k);
+    // Accept with the exact mass / envelope ratio.
+    if (NextDouble() * std::pow(x / kk, s) <= 1.0) {
+      const uint64_t idx = (k == 0 ? 1 : k) - 1;
+      if (idx < n) return idx;
+    }
+  }
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  SLIM_CHECK_MSG(mean >= 0.0, "NextPoisson requires mean >= 0");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation, adequate for workload generation.
+    const double x = mean + std::sqrt(mean) * NextGaussian();
+    return x <= 0.0 ? 0 : static_cast<uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+Rng Rng::Fork(uint64_t stream) {
+  SplitMix64 sm(seed_ ^ (0x632be59bd9b4e019ULL * (stream + 1)));
+  return Rng(sm.Next());
+}
+
+}  // namespace slim

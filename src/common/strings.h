@@ -1,0 +1,32 @@
+// Small string helpers shared by the CSV layer and the bench table printers.
+#ifndef SLIM_COMMON_STRINGS_H_
+#define SLIM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slim {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Strict parses; the whole (stripped) string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats n with thousands separators ("1,234,567") for bench output.
+std::string FormatWithCommas(int64_t n);
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_STRINGS_H_

@@ -1,0 +1,124 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "geo/covering.h"
+#include "temporal/time_window.h"
+
+namespace slim {
+
+MobilityHistory MobilityHistory::FromRecords(EntityId entity,
+                                             std::span<const Record> records,
+                                             const HistoryConfig& config) {
+  SLIM_CHECK_MSG(config.spatial_level >= 0 &&
+                     config.spatial_level <= CellId::kMaxLevel,
+                 "invalid spatial level");
+  SLIM_CHECK_MSG(config.window_seconds > 0, "invalid window width");
+
+  MobilityHistory h;
+  h.entity_ = entity;
+
+  std::map<std::pair<int64_t, CellId>, uint32_t> grouped;
+  for (const Record& r : records) {
+    const int64_t w = WindowIndexOf(r.timestamp, config.window_seconds);
+    if (config.region_radius_meters > 0.0) {
+      // Region record: copy into every intersecting leaf cell.
+      for (const CellId c : CellsCoveringDisc(
+               r.location, config.region_radius_meters,
+               config.spatial_level)) {
+        ++grouped[{w, c}];
+      }
+    } else {
+      const CellId c = CellId::FromLatLng(r.location, config.spatial_level);
+      ++grouped[{w, c}];
+    }
+    ++h.total_records_;
+  }
+
+  h.bins_.reserve(grouped.size());
+  std::vector<WindowedCellCount> tree_entries;
+  tree_entries.reserve(grouped.size());
+  for (const auto& [key, count] : grouped) {
+    h.bins_.push_back({key.first, key.second, count});
+    tree_entries.push_back({key.first, key.second, count});
+  }
+
+  // Window index over the (already (window, cell)-sorted) bins.
+  size_t start = 0;
+  for (size_t i = 0; i <= h.bins_.size(); ++i) {
+    if (i == h.bins_.size() ||
+        (i > 0 && h.bins_[i].window != h.bins_[i - 1].window)) {
+      if (i > start) {
+        h.windows_.push_back(h.bins_[start].window);
+        h.window_index_[h.bins_[start].window] = {start, i};
+      }
+      start = i;
+    }
+  }
+
+  h.tree_ = WindowSegmentTree::Build(std::move(tree_entries));
+  return h;
+}
+
+std::span<const TimeLocationBin> MobilityHistory::BinsInWindow(
+    int64_t window) const {
+  const auto it = window_index_.find(window);
+  if (it == window_index_.end()) return {};
+  return std::span<const TimeLocationBin>(bins_.data() + it->second.first,
+                                          it->second.second - it->second.first);
+}
+
+HistorySet HistorySet::Build(const LocationDataset& dataset,
+                             const HistoryConfig& config) {
+  HistorySet set;
+  set.config_ = config;
+  set.histories_.reserve(dataset.num_entities());
+  size_t total_bins = 0;
+  for (EntityId e : dataset.entity_ids()) {
+    MobilityHistory h =
+        MobilityHistory::FromRecords(e, dataset.RecordsOf(e), config);
+    total_bins += h.num_bins();
+    for (const TimeLocationBin& bin : h.bins()) {
+      ++set.bin_entity_counts_[{bin.window, bin.cell.raw()}];
+    }
+    set.by_entity_[e] = set.histories_.size();
+    set.histories_.push_back(std::move(h));
+  }
+  set.avg_bins_ = set.histories_.empty()
+                      ? 0.0
+                      : static_cast<double>(total_bins) /
+                            static_cast<double>(set.histories_.size());
+  return set;
+}
+
+const MobilityHistory* HistorySet::Find(EntityId entity) const {
+  const auto it = by_entity_.find(entity);
+  if (it == by_entity_.end()) return nullptr;
+  return &histories_[it->second];
+}
+
+uint32_t HistorySet::BinEntityCount(int64_t window, CellId cell) const {
+  const auto it = bin_entity_counts_.find({window, cell.raw()});
+  return it == bin_entity_counts_.end() ? 0 : it->second;
+}
+
+double HistorySet::Idf(int64_t window, CellId cell) const {
+  SLIM_CHECK_MSG(!histories_.empty(), "Idf on an empty HistorySet");
+  const uint32_t holders = BinEntityCount(window, cell);
+  const double n = static_cast<double>(histories_.size());
+  if (holders == 0) return std::log(n);
+  return std::log(n / static_cast<double>(holders));
+}
+
+double HistorySet::LengthNorm(const MobilityHistory& history, double b) const {
+  SLIM_CHECK_MSG(b >= 0.0 && b <= 1.0, "length-norm b must be in [0,1]");
+  SLIM_CHECK_MSG(avg_bins_ > 0.0, "LengthNorm on an empty HistorySet");
+  const double rel =
+      static_cast<double>(history.num_bins()) / avg_bins_;
+  return (1.0 - b) + b * rel;
+}
+
+}  // namespace slim

@@ -1,0 +1,123 @@
+#include "core/pairing.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace slim {
+namespace {
+
+// Shared greedy selection: order all (row, col) pairs by distance (ascending
+// for nearest, descending for furthest; ties on (row, col)), then take pairs
+// whose row and column are both unused until min(m, n) pairs are selected.
+std::vector<BinPair> GreedyDisjointPairs(const std::vector<double>& dist,
+                                         size_t m, size_t n, bool nearest) {
+  SLIM_CHECK_MSG(dist.size() == m * n, "distance matrix shape mismatch");
+  std::vector<BinPair> result;
+  if (m == 0 || n == 0) return result;
+
+  std::vector<size_t> order(m * n);
+  for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (dist[a] != dist[b]) return nearest ? dist[a] < dist[b] : dist[a] > dist[b];
+    return a < b;
+  });
+
+  std::vector<char> row_used(m, 0), col_used(n, 0);
+  const size_t want = std::min(m, n);
+  result.reserve(want);
+  for (size_t k : order) {
+    const size_t r = k / n;
+    const size_t c = k % n;
+    if (row_used[r] || col_used[c]) continue;
+    row_used[r] = 1;
+    col_used[c] = 1;
+    result.emplace_back(r, c);
+    if (result.size() == want) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<BinPair> MutuallyNearestPairs(const std::vector<double>& dist,
+                                          size_t m, size_t n) {
+  return GreedyDisjointPairs(dist, m, n, /*nearest=*/true);
+}
+
+std::vector<BinPair> MutuallyFurthestPairs(const std::vector<double>& dist,
+                                           size_t m, size_t n) {
+  return GreedyDisjointPairs(dist, m, n, /*nearest=*/false);
+}
+
+std::vector<BinPair> AllPairs(size_t m, size_t n) {
+  std::vector<BinPair> result;
+  result.reserve(m * n);
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c = 0; c < n; ++c) result.emplace_back(r, c);
+  }
+  return result;
+}
+
+MutualPairing MutualNearestAndFurthestPairs(const std::vector<double>& dist,
+                                            size_t m, size_t n,
+                                            bool need_furthest) {
+  SLIM_CHECK_MSG(dist.size() == m * n, "distance matrix shape mismatch");
+  MutualPairing out;
+  if (m == 0 || n == 0) return out;
+
+  // Fast path: one bin on either side — nearest is the argmin, furthest
+  // the argmax; no sort.
+  if (m == 1 || n == 1) {
+    size_t arg_min = 0, arg_max = 0;
+    for (size_t k = 1; k < dist.size(); ++k) {
+      if (dist[k] < dist[arg_min]) arg_min = k;
+      if (dist[k] > dist[arg_max]) arg_max = k;
+    }
+    out.nearest.emplace_back(arg_min / n, arg_min % n);
+    if (need_furthest) out.furthest.emplace_back(arg_max / n, arg_max % n);
+    return out;
+  }
+
+  // One shared ascending sort serves both pairings: nearest consumes it
+  // front-to-back, furthest back-to-front.
+  std::vector<uint32_t> order(m * n);
+  for (size_t k = 0; k < order.size(); ++k) {
+    order[k] = static_cast<uint32_t>(k);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+
+  const size_t want = std::min(m, n);
+  std::vector<char> row_used(m, 0), col_used(n, 0);
+  out.nearest.reserve(want);
+  for (uint32_t k : order) {
+    const size_t r = k / n;
+    const size_t c = k % n;
+    if (row_used[r] || col_used[c]) continue;
+    row_used[r] = 1;
+    col_used[c] = 1;
+    out.nearest.emplace_back(r, c);
+    if (out.nearest.size() == want) break;
+  }
+  if (need_furthest) {
+    std::fill(row_used.begin(), row_used.end(), 0);
+    std::fill(col_used.begin(), col_used.end(), 0);
+    out.furthest.reserve(want);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const size_t r = *it / n;
+      const size_t c = *it % n;
+      if (row_used[r] || col_used[c]) continue;
+      row_used[r] = 1;
+      col_used[c] = 1;
+      out.furthest.emplace_back(r, c);
+      if (out.furthest.size() == want) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,56 @@
+// Pairing functions over the bins of one shared temporal window
+// (paper Sec. 3.1.2 and Alg. 1).
+//
+// N_w(u, v)  — mutually-nearest pairing: repeatedly select the bin pair with
+//              the smallest cell distance, remove both bins, until the
+//              smaller side is exhausted. This blocks over-counting that a
+//              Cartesian product would cause.
+// N'_w(u, v) — mutually-furthest pairing: same procedure with the largest
+//              distance; used only to catch alibi pairs the nearest pairing
+//              misses (Alg. 1's optional inner loop).
+// All-pairs  — the Cartesian product, kept as the ablation alternative the
+//              evaluation compares against (Fig. 10).
+//
+// All functions consume a precomputed row-major distance matrix so the
+// similarity engine computes each cell distance exactly once per window.
+#ifndef SLIM_CORE_PAIRING_H_
+#define SLIM_CORE_PAIRING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace slim {
+
+/// An index pair (row e in u's bins, column i in v's bins).
+using BinPair = std::pair<size_t, size_t>;
+
+/// Mutually-nearest-neighbor pairing over an m x n distance matrix
+/// (row-major). Returns min(m, n) disjoint pairs, deterministically
+/// (distance ties break on (row, col)).
+std::vector<BinPair> MutuallyNearestPairs(const std::vector<double>& dist,
+                                          size_t m, size_t n);
+
+/// Mutually-furthest-neighbor pairing: as above with maximal distances.
+std::vector<BinPair> MutuallyFurthestPairs(const std::vector<double>& dist,
+                                           size_t m, size_t n);
+
+/// The full Cartesian product (ablation baseline).
+std::vector<BinPair> AllPairs(size_t m, size_t n);
+
+/// Both pairings from one shared sort of the distance matrix — the scoring
+/// hot path (Alg. 1 needs N and N' for every common window). Fast paths
+/// handle the ubiquitous 1x1 and 1xN windows without sorting. Tie-breaking
+/// of `furthest` may differ from MutuallyFurthestPairs() between
+/// equal-distance pairs; contributions are identical either way.
+struct MutualPairing {
+  std::vector<BinPair> nearest;
+  std::vector<BinPair> furthest;
+};
+MutualPairing MutualNearestAndFurthestPairs(const std::vector<double>& dist,
+                                            size_t m, size_t n,
+                                            bool need_furthest);
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_PAIRING_H_

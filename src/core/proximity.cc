@@ -1,0 +1,36 @@
+#include "core/proximity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "temporal/time_window.h"
+
+namespace slim {
+
+double RunawayMeters(const ProximityConfig& config, int64_t window_seconds) {
+  return RunawayDistanceMeters(window_seconds, config.max_speed_mps);
+}
+
+double SpatialProximity(double distance_m, double runaway_m,
+                        double clamp_epsilon) {
+  SLIM_DCHECK(runaway_m > 0.0);
+  SLIM_DCHECK(clamp_epsilon > 0.0 && clamp_epsilon < 1.0);
+  const double ratio =
+      std::min(distance_m / runaway_m, 2.0 - clamp_epsilon);
+  return std::log2(2.0 - ratio);
+}
+
+double BinProximity(const TimeLocationBin& e, const TimeLocationBin& i,
+                    const ProximityConfig& config, int64_t window_seconds) {
+  if (e.window != i.window) return 0.0;  // T(e, i) = 0
+  const double d = MinDistanceMeters(e.cell, i.cell);
+  return SpatialProximity(d, RunawayMeters(config, window_seconds),
+                          config.clamp_epsilon);
+}
+
+bool IsAlibi(double distance_m, double runaway_m) {
+  return distance_m > runaway_m;
+}
+
+}  // namespace slim

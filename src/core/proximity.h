@@ -1,0 +1,50 @@
+// Time-location bin proximity (paper Eq. 1).
+//
+//   P(e, i) = T(e, i) * log2(2 - min(d(e.c, i.c) / R, 2))
+//
+// where T is 1 only for bins of the same temporal window, d is the minimum
+// geographic distance between the bins' cells, and R = |w| * alpha is the
+// runaway distance (the farthest an entity can travel within one window at
+// the dataset's maximum speed alpha). Same cell -> 1; distance R -> 0;
+// beyond R the value turns negative with increasing slope — the *alibi*
+// penalty — approaching -inf at 2R. A configurable clamp keeps the value
+// finite (the paper notes location inaccuracy motivates a steep-but-
+// continuous penalty rather than a hard cutoff).
+#ifndef SLIM_CORE_PROXIMITY_H_
+#define SLIM_CORE_PROXIMITY_H_
+
+#include "core/history.h"
+
+namespace slim {
+
+/// Parameters of the proximity function.
+struct ProximityConfig {
+  /// Maximum entity speed alpha, meters/second. Paper default: 2 km/min
+  /// (US-highway-derived) = 33.33 m/s.
+  double max_speed_mps = 2000.0 / 60.0;
+
+  /// The distance ratio d/R is clamped to 2 - clamp_epsilon, bounding the
+  /// penalty at log2(clamp_epsilon) instead of -inf.
+  double clamp_epsilon = 1e-6;
+};
+
+/// Runaway distance R for a leaf window of `window_seconds`.
+double RunawayMeters(const ProximityConfig& config, int64_t window_seconds);
+
+/// Spatial part of Eq. 1 given a precomputed cell distance and R:
+/// log2(2 - min(d/R, 2 - eps)). Requires runaway_m > 0.
+double SpatialProximity(double distance_m, double runaway_m,
+                        double clamp_epsilon);
+
+/// Full Eq. 1 on two bins: 0 for different windows, otherwise
+/// SpatialProximity over MinDistanceMeters of the cells.
+double BinProximity(const TimeLocationBin& e, const TimeLocationBin& i,
+                    const ProximityConfig& config, int64_t window_seconds);
+
+/// True when a same-window bin pair is an alibi: farther apart than the
+/// runaway distance (negative proximity).
+bool IsAlibi(double distance_m, double runaway_m);
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_PROXIMITY_H_

@@ -1,0 +1,131 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "core/pairing.h"
+
+namespace slim {
+
+SimilarityEngine::SimilarityEngine(const HistorySet& set_e,
+                                   const HistorySet& set_i,
+                                   const SimilarityConfig& config)
+    : set_e_(set_e), set_i_(set_i), config_(config) {
+  SLIM_CHECK_MSG(set_e.config().spatial_level == set_i.config().spatial_level &&
+                     set_e.config().window_seconds ==
+                         set_i.config().window_seconds,
+                 "HistorySets must share one HistoryConfig");
+  SLIM_CHECK_MSG(config_.b >= 0.0 && config_.b <= 1.0, "b must be in [0,1]");
+  runaway_m_ =
+      RunawayMeters(config_.proximity, set_e.config().window_seconds);
+}
+
+double SimilarityEngine::Score(EntityId u, EntityId v, SimilarityStats* stats,
+                               CellDistanceCache* cache) const {
+  const MobilityHistory* hu = set_e_.Find(u);
+  const MobilityHistory* hv = set_i_.Find(v);
+  if (hu == nullptr || hv == nullptr) return 0.0;
+  return ScoreHistories(*hu, set_e_, *hv, set_i_, stats, cache);
+}
+
+double SimilarityEngine::ScoreHistories(const MobilityHistory& hu,
+                                        const HistorySet& set_u,
+                                        const MobilityHistory& hv,
+                                        const HistorySet& set_v,
+                                        SimilarityStats* stats,
+                                        CellDistanceCache* cache) const {
+  SLIM_CHECK(stats != nullptr);
+  ++stats->entity_pairs;
+  if (hu.num_bins() == 0 || hv.num_bins() == 0) return 0.0;
+
+  // Normalisation divisor (Eq. 2); 1 when disabled.
+  double norm = 1.0;
+  if (config_.use_normalization) {
+    norm = set_u.LengthNorm(hu, config_.b) * set_v.LengthNorm(hv, config_.b);
+  }
+
+  // Intersect the two sorted window lists.
+  const auto& wu = hu.windows();
+  const auto& wv = hv.windows();
+  double score = 0.0;
+  size_t iu = 0, iv = 0;
+  std::vector<double> dist;   // reused per-window distance matrix
+  std::vector<char> in_mnn;   // reused MNN membership mask
+
+  while (iu < wu.size() && iv < wv.size()) {
+    if (wu[iu] < wv[iv]) {
+      ++iu;
+      continue;
+    }
+    if (wv[iv] < wu[iu]) {
+      ++iv;
+      continue;
+    }
+    const int64_t w = wu[iu];
+    ++iu;
+    ++iv;
+
+    const auto bins_u = hu.BinsInWindow(w);
+    const auto bins_v = hv.BinsInWindow(w);
+    const size_t m = bins_u.size();
+    const size_t n = bins_v.size();
+
+    // Distance matrix, computed once and shared by the N and N' passes.
+    dist.resize(m * n);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        dist[r * n + c] =
+            cache != nullptr
+                ? cache->Get(bins_u[r].cell, bins_v[c].cell)
+                : MinDistanceMeters(bins_u[r].cell, bins_v[c].cell);
+      }
+    }
+    stats->record_comparisons += static_cast<uint64_t>(m) * n;
+
+    // Contribution of one bin pair, per Eq. 2.
+    auto contribution = [&](size_t r, size_t c) {
+      const double d = dist[r * n + c];
+      const double p =
+          SpatialProximity(d, runaway_m_, config_.proximity.clamp_epsilon);
+      if (IsAlibi(d, runaway_m_)) ++stats->alibi_pairs;
+      double idf = 1.0;
+      if (config_.use_idf) {
+        idf = std::min(set_u.Idf(w, bins_u[r].cell),
+                       set_v.Idf(w, bins_v[c].cell));
+      }
+      return p * idf / norm;
+    };
+
+    if (config_.pairing == PairingKind::kAllPairs) {
+      for (const auto& [r, c] : AllPairs(m, n)) score += contribution(r, c);
+    } else {
+      const bool run_mfn = config_.use_mfn;
+      const MutualPairing pairing =
+          MutualNearestAndFurthestPairs(dist, m, n, run_mfn);
+      in_mnn.assign(m * n, 0);
+      for (const auto& [r, c] : pairing.nearest) {
+        in_mnn[r * n + c] = 1;
+        score += contribution(r, c);
+      }
+      // Alg. 1: add mutually-furthest pairs only when they are alibis
+      // (negative delta) and not already counted by N.
+      for (const auto& [r, c] : pairing.furthest) {
+        if (in_mnn[r * n + c]) continue;
+        const double delta = contribution(r, c);
+        if (delta < 0.0) score += delta;
+      }
+    }
+  }
+  return score;
+}
+
+double SimilarityEngine::SelfScore(const MobilityHistory& hu,
+                                   const HistorySet& set_u,
+                                   SimilarityStats* stats,
+                                   CellDistanceCache* cache) const {
+  return ScoreHistories(hu, set_u, hu, set_u, stats, cache);
+}
+
+}  // namespace slim

@@ -1,0 +1,154 @@
+#include "core/slim.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace slim {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SlimLinker::SlimLinker(SlimConfig config) : config_(std::move(config)) {
+  SLIM_CHECK_MSG(config_.history.window_seconds > 0,
+                 "window width must be positive");
+  SLIM_CHECK_MSG(config_.history.spatial_level >= 0 &&
+                     config_.history.spatial_level <= CellId::kMaxLevel,
+                 "invalid spatial level");
+  SLIM_CHECK_MSG(!config_.use_lsh ||
+                     config_.lsh.signature_spatial_level <=
+                         config_.history.spatial_level,
+                 "LSH signature level must not exceed the history leaf level");
+}
+
+Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
+                                       const LocationDataset& dataset_i) const {
+  if (!dataset_e.finalized() || !dataset_i.finalized()) {
+    return Status::FailedPrecondition("datasets must be finalized");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  LinkageResult result;
+
+  // 1. Mobility histories (CreateHistories of Alg. 1).
+  auto t0 = std::chrono::steady_clock::now();
+  const HistorySet set_e = HistorySet::Build(dataset_e, config_.history);
+  const HistorySet set_i = HistorySet::Build(dataset_i, config_.history);
+  result.seconds_histories = SecondsSince(t0);
+  result.possible_pairs =
+      static_cast<uint64_t>(set_e.size()) * static_cast<uint64_t>(set_i.size());
+  if (set_e.size() == 0 || set_i.size() == 0) {
+    result.seconds_total = SecondsSince(t_start);
+    return result;
+  }
+
+  // 2. Candidate filtering (LSHFilterPairs of Alg. 1).
+  t0 = std::chrono::steady_clock::now();
+  LshIndex lsh_index;
+  std::vector<EntityId> all_right;
+  if (config_.use_lsh) {
+    std::vector<LshIndex::Entry> left, right;
+    left.reserve(set_e.size());
+    right.reserve(set_i.size());
+    for (const auto& h : set_e.histories()) left.push_back({h.entity(), &h.tree()});
+    for (const auto& h : set_i.histories()) right.push_back({h.entity(), &h.tree()});
+    lsh_index = LshIndex::Build(left, right, config_.lsh);
+    result.candidate_pairs = lsh_index.total_candidate_pairs();
+  } else {
+    all_right.reserve(set_i.size());
+    for (const auto& h : set_i.histories()) all_right.push_back(h.entity());
+    result.candidate_pairs = result.possible_pairs;
+  }
+  result.seconds_lsh = SecondsSince(t0);
+
+  // 3. Pairwise similarity scores -> positive-score edges.
+  t0 = std::chrono::steady_clock::now();
+  const SimilarityEngine engine(set_e, set_i, config_.similarity);
+  const auto& lefts = set_e.histories();
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  std::vector<std::vector<WeightedEdge>> shard_edges(
+      static_cast<size_t>(threads));
+  std::vector<SimilarityStats> shard_stats(static_cast<size_t>(threads));
+
+  ParallelFor(
+      lefts.size(),
+      [&](size_t begin, size_t end, int shard) {
+        auto& edges = shard_edges[static_cast<size_t>(shard)];
+        auto& stats = shard_stats[static_cast<size_t>(shard)];
+        CellDistanceCache cache;
+        for (size_t k = begin; k < end; ++k) {
+          const EntityId u = lefts[k].entity();
+          const std::vector<EntityId>& cands =
+              config_.use_lsh ? lsh_index.CandidatesFor(u) : all_right;
+          for (EntityId v : cands) {
+            const double s = engine.Score(u, v, &stats, &cache);
+            if (s > 0.0) edges.push_back({u, v, s});
+          }
+        }
+      },
+      threads);
+
+  for (int shard = 0; shard < threads; ++shard) {
+    result.stats += shard_stats[static_cast<size_t>(shard)];
+    for (const auto& e : shard_edges[static_cast<size_t>(shard)]) {
+      result.graph.AddEdge(e.u, e.v, e.weight);
+    }
+  }
+  // Deterministic edge order regardless of thread count.
+  {
+    std::vector<WeightedEdge> edges = result.graph.edges();
+    std::sort(edges.begin(), edges.end(),
+              [](const WeightedEdge& a, const WeightedEdge& b) {
+                if (a.u != b.u) return a.u < b.u;
+                return a.v < b.v;
+              });
+    result.graph = BipartiteGraph(std::move(edges));
+  }
+  result.seconds_scoring = SecondsSince(t0);
+
+  // 4. Maximum-sum bipartite matching (LinkPairs of Alg. 1).
+  t0 = std::chrono::steady_clock::now();
+  result.matching = config_.matcher == MatcherKind::kHungarian
+                        ? HungarianMaxWeightMatching(result.graph)
+                        : GreedyMaxWeightMatching(result.graph);
+  result.seconds_matching = SecondsSince(t0);
+
+  // 5. Automated stop threshold over the matched edge weights.
+  std::vector<double> weights;
+  weights.reserve(result.matching.pairs.size());
+  for (const auto& e : result.matching.pairs) weights.push_back(e.weight);
+
+  double cutoff = -std::numeric_limits<double>::infinity();
+  if (config_.apply_stop_threshold) {
+    auto decision =
+        DetectStopThreshold(weights, config_.threshold_method);
+    if (decision.ok()) {
+      result.threshold = std::move(decision.value());
+      result.threshold_valid = true;
+      cutoff = result.threshold.threshold;
+    }
+    // On detector failure (too few / degenerate weights) every matched pair
+    // is kept — the caller can inspect threshold_valid.
+  }
+
+  for (const auto& e : result.matching.pairs) {
+    if (e.weight > cutoff) result.links.push_back({e.u, e.v, e.weight});
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const LinkedEntityPair& a, const LinkedEntityPair& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+
+  result.seconds_total = SecondsSince(t_start);
+  return result;
+}
+
+}  // namespace slim

@@ -1,0 +1,122 @@
+// SLIM: Scalable Linkage of Mobility Histories — Algorithm 1 of the paper.
+//
+// Pipeline: build mobility histories for both datasets -> (optionally)
+// LSH-filter the candidate pairs -> compute pairwise similarity scores ->
+// build the weighted bipartite graph over positive scores -> maximum-sum
+// matching -> fit the 2-component GMM over matched edge weights and keep
+// only links above the automatically detected stop threshold.
+#ifndef SLIM_CORE_SLIM_H_
+#define SLIM_CORE_SLIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/history.h"
+#include "core/similarity.h"
+#include "core/threshold.h"
+#include "data/dataset.h"
+#include "lsh/lsh_index.h"
+#include "match/matcher.h"
+
+namespace slim {
+
+/// Which assignment solver performs the final matching.
+enum class MatcherKind {
+  kGreedy,     // the paper's heuristic (default)
+  kHungarian,  // exact; O(n^3), for small instances / ablation
+};
+
+/// Full SLIM configuration. Defaults follow the paper's defaults (spatial
+/// level 12, 15-minute windows, b = 0.5, alpha = 2 km/min, LSH t = 0.6 with
+/// 4096 buckets).
+struct SlimConfig {
+  HistoryConfig history;
+  SimilarityConfig similarity;
+
+  /// When false, every cross-dataset pair is scored (the paper's "no-LSH
+  /// SLIM" / brute-force reference).
+  bool use_lsh = true;
+  /// LSH parameters. Two deviations from LshConfig's own Sec. 5.3.2
+  /// defaults (level 16, 12-hour steps, t = 0.6), which assume weeks of
+  /// data: (1) the signature spatial level must not exceed
+  /// history.spatial_level, and (2) a conservative coarse operating point
+  /// (level 10, 2-hour steps, t = 0.5) keeps candidate recall high on
+  /// short collections — finer signatures prune more but lose recall, the
+  /// Fig. 8 trade-off. Tune per deployment; see bench/fig08.
+  LshConfig lsh{.similarity_threshold = 0.5,
+                .signature_spatial_level = 10,
+                .temporal_step_windows = 8};
+
+  ThresholdMethod threshold_method = ThresholdMethod::kGmmExpectedF1;
+  /// When false, the matching is emitted unfiltered (no stop threshold) —
+  /// the "full matching" the paper argues against; kept for ablation.
+  bool apply_stop_threshold = true;
+
+  MatcherKind matcher = MatcherKind::kGreedy;
+
+  /// Worker threads for pairwise scoring; <= 0 means the library default.
+  int threads = 0;
+};
+
+/// One linked entity pair (u from E, v from I) and its similarity score.
+struct LinkedEntityPair {
+  EntityId u = 0;
+  EntityId v = 0;
+  double score = 0.0;
+
+  bool operator==(const LinkedEntityPair&) const = default;
+};
+
+/// Everything the linkage produced, including the intermediate artifacts
+/// the evaluation reports on.
+struct LinkageResult {
+  /// Final links (above the stop threshold when enabled), sorted by u.
+  std::vector<LinkedEntityPair> links;
+  /// The full maximum-sum matching before thresholding.
+  Matching matching;
+  /// The scored bipartite graph (positive similarity scores only), sorted
+  /// by (u, v). Used for Hit-Precision@k evaluation.
+  BipartiteGraph graph;
+
+  /// Stop-threshold decision; `threshold_valid` is false when the detector
+  /// could not run (e.g. fewer than two matched edges) in which case all
+  /// matched pairs are kept.
+  ThresholdDecision threshold;
+  bool threshold_valid = false;
+
+  /// Scoring instrumentation (record comparisons, alibi pairs, ...).
+  SimilarityStats stats;
+  /// Pairs considered after filtering vs the full cross product.
+  uint64_t candidate_pairs = 0;
+  uint64_t possible_pairs = 0;
+
+  /// Wall-clock seconds per phase.
+  double seconds_histories = 0.0;
+  double seconds_lsh = 0.0;
+  double seconds_scoring = 0.0;
+  double seconds_matching = 0.0;
+  double seconds_total = 0.0;
+};
+
+/// The SLIM linkage algorithm (Alg. 1). Construct once per configuration and
+/// call Link(); the linker is stateless across calls.
+class SlimLinker {
+ public:
+  explicit SlimLinker(SlimConfig config);
+
+  const SlimConfig& config() const { return config_; }
+
+  /// Links dataset_e (left, "E") to dataset_i (right, "I"). Both datasets
+  /// must be finalized. Returns the full LinkageResult; an empty result
+  /// (no links) is success, not an error.
+  Result<LinkageResult> Link(const LocationDataset& dataset_e,
+                             const LocationDataset& dataset_i) const;
+
+ private:
+  SlimConfig config_;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_SLIM_H_

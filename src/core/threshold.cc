@@ -1,0 +1,94 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/kmeans.h"
+#include "stats/otsu.h"
+
+namespace slim {
+
+void ExpectedQualityAt(const GaussianMixture1D& gmm, double s,
+                       double* precision, double* recall, double* f1) {
+  SLIM_CHECK_MSG(gmm.components.size() == 2,
+                 "expected-quality needs a 2-component mixture");
+  const Gaussian1D& m1 = gmm.components[0];  // false positives (lower mean)
+  const Gaussian1D& m2 = gmm.components[1];  // true positives
+  const double r = m2.weight * (1.0 - m2.Cdf(s));
+  const double fp = m1.weight * (1.0 - m1.Cdf(s));
+  const double p = (r + fp) > 0.0 ? r / (r + fp) : 0.0;
+  // Recall is normalised by the total true-positive mass c2 so that
+  // R(-inf) = 1.
+  const double rec = m2.weight > 0.0 ? r / m2.weight : 0.0;
+  *precision = p;
+  *recall = rec;
+  *f1 = (p + rec) > 0.0 ? 2.0 * p * rec / (p + rec) : 0.0;
+}
+
+Result<ThresholdDecision> DetectStopThreshold(
+    const std::vector<double>& matched_weights, ThresholdMethod method,
+    int search_steps, double min_component_support) {
+  if (matched_weights.size() < 2) {
+    return Status::FailedPrecondition(
+        "stop-threshold detection needs at least 2 matched edges");
+  }
+  const auto [mn_it, mx_it] =
+      std::minmax_element(matched_weights.begin(), matched_weights.end());
+  if (*mx_it <= *mn_it) {
+    return Status::FailedPrecondition(
+        "stop-threshold detection needs distinct edge weights");
+  }
+
+  ThresholdDecision out;
+  switch (method) {
+    case ThresholdMethod::kOtsu:
+      out.threshold = OtsuThreshold(matched_weights);
+      return out;
+    case ThresholdMethod::kTwoMeans:
+      out.threshold = TwoMeansThreshold(matched_weights);
+      return out;
+    case ThresholdMethod::kGmmExpectedF1:
+      break;
+  }
+
+  GmmFitOptions fit;
+  fit.num_components = 2;
+  auto gmm = FitGmm1D(matched_weights, fit);
+  if (!gmm.ok()) return gmm.status();
+  out.gmm = std::move(gmm.value());
+  if (out.gmm.components.size() < 2) {
+    return Status::FailedPrecondition("mixture degenerated to one component");
+  }
+  // Support guard (see header): both populations must actually be present.
+  const double n = static_cast<double>(matched_weights.size());
+  for (const auto& comp : out.gmm.components) {
+    if (comp.weight * n < min_component_support) {
+      return Status::FailedPrecondition(
+          "a mixture component is supported by fewer than the required "
+          "points; matched weights look unimodal — keeping all links");
+    }
+  }
+
+  // Grid search for argmax_s F1(s) across the observed weight span.
+  SLIM_CHECK_MSG(search_steps >= 2, "search_steps must be >= 2");
+  const double lo = *mn_it;
+  const double hi = *mx_it;
+  double best_f1 = -1.0;
+  for (int k = 0; k < search_steps; ++k) {
+    const double s = lo + (hi - lo) * static_cast<double>(k) /
+                              static_cast<double>(search_steps - 1);
+    double p, r, f1;
+    ExpectedQualityAt(out.gmm, s, &p, &r, &f1);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      out.threshold = s;
+      out.expected_precision = p;
+      out.expected_recall = r;
+      out.expected_f1 = f1;
+    }
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,66 @@
+// Automated linkage stop-threshold detection (paper Sec. 3.2).
+//
+// After the full bipartite matching, the selected edge weights are a mixture
+// of true-positive links (higher scores) and false-positive links (lower
+// scores). SLIM fits a two-component 1-D Gaussian mixture over the weights;
+// with c1/m1 the lower-mean (false positive) component and c2/m2 the higher,
+// the expected quality at threshold s is
+//   R(s)  = c2 * (1 - F_m2(s))
+//   P(s)  = R(s) / (R(s) + c1 * (1 - F_m1(s)))
+//   F1(s) = 2 P(s) R(s) / (P(s) + R(s))
+// and the stop threshold s* maximises F1. Otsu's method and a 2-means split
+// are alternative detectors (the paper reports they behave similarly).
+#ifndef SLIM_CORE_THRESHOLD_H_
+#define SLIM_CORE_THRESHOLD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/gmm1d.h"
+
+namespace slim {
+
+/// Detector backend.
+enum class ThresholdMethod {
+  kGmmExpectedF1,  // the paper's method (default)
+  kOtsu,
+  kTwoMeans,
+};
+
+/// Detected stop threshold plus the model that produced it.
+struct ThresholdDecision {
+  double threshold = 0.0;
+  /// Fitted mixture (components sorted by mean; only for kGmmExpectedF1).
+  GaussianMixture1D gmm;
+  /// Expected quality at `threshold` under the fitted model (only for
+  /// kGmmExpectedF1).
+  double expected_precision = 0.0;
+  double expected_recall = 0.0;
+  double expected_f1 = 0.0;
+};
+
+/// Expected precision/recall/F1 at threshold s under a 2-component fit.
+/// Exposed for tests and for the Fig. 6 bench output.
+void ExpectedQualityAt(const GaussianMixture1D& gmm, double s,
+                       double* precision, double* recall, double* f1);
+
+/// Detects the stop threshold over the matched-edge weights.
+/// Needs at least 2 distinct weights (for kGmmExpectedF1, at least 2 values
+/// and a non-degenerate spread); degenerate inputs produce an error and the
+/// caller should keep all links.
+///
+/// Robustness extension over the paper: when a fitted component's effective
+/// support (weight * n) falls below `min_component_support` points, the
+/// two-population assumption is considered unmet and the detector fails
+/// open (error -> caller keeps all links). This matters after aggressive
+/// LSH filtering, which can prune away the entire false-positive
+/// population and leave a unimodal true-positive weight distribution that
+/// a 2-component fit would otherwise split arbitrarily.
+Result<ThresholdDecision> DetectStopThreshold(
+    const std::vector<double>& matched_weights,
+    ThresholdMethod method = ThresholdMethod::kGmmExpectedF1,
+    int search_steps = 512, double min_component_support = 4.0);
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_THRESHOLD_H_

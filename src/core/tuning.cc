@@ -1,0 +1,126 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stats/kneedle.h"
+
+namespace slim {
+
+Result<TuningResult> AutoTuneSpatialLevel(const LocationDataset& dataset,
+                                          const TuningOptions& options) {
+  if (options.candidate_levels.size() < 3) {
+    return Status::InvalidArgument("need at least 3 candidate levels");
+  }
+  for (size_t k = 1; k < options.candidate_levels.size(); ++k) {
+    if (options.candidate_levels[k] <= options.candidate_levels[k - 1]) {
+      return Status::InvalidArgument("candidate levels must be increasing");
+    }
+  }
+  if (dataset.num_entities() < 2) {
+    return Status::FailedPrecondition(
+        "auto-tuning needs at least 2 entities");
+  }
+
+  // Fixed probe pairs, shared across levels so the curve is comparable.
+  Rng rng(options.seed);
+  const auto& ids = dataset.entity_ids();
+  std::vector<EntityId> sample;
+  {
+    std::vector<EntityId> pool = ids;
+    for (size_t i = pool.size(); i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.NextUint64(i)]);
+    }
+    const size_t n = std::min(options.sample_entities, pool.size());
+    sample.assign(pool.begin(), pool.begin() + static_cast<long>(n));
+  }
+  std::vector<std::pair<EntityId, EntityId>> probes;
+  for (EntityId u : sample) {
+    for (size_t k = 0; k < options.partners_per_entity; ++k) {
+      EntityId v = ids[rng.NextUint64(ids.size())];
+      if (v == u) continue;
+      probes.emplace_back(u, v);
+    }
+  }
+  if (probes.empty()) {
+    return Status::FailedPrecondition("no probe pairs could be formed");
+  }
+
+  TuningResult result;
+  std::vector<double> xs, ys;
+  // The probe scores entities against the SAME dataset: at coarse levels
+  // every entity shares every bin, which drives idf (and with it both the
+  // pair and the self score) to exactly 0 and makes the ratio undefined.
+  // The probe therefore uses proximity-only similarity; the level choice is
+  // about spatial distinguishability, not term weighting.
+  SimilarityConfig probe_cfg = options.similarity;
+  probe_cfg.use_idf = false;
+  for (int level : options.candidate_levels) {
+    HistoryConfig hc;
+    hc.spatial_level = level;
+    hc.window_seconds = options.window_seconds;
+    const HistorySet set = HistorySet::Build(dataset, hc);
+    const SimilarityEngine engine(set, set, probe_cfg);
+    SimilarityStats stats;
+
+    double ratio_sum = 0.0;
+    size_t ratio_count = 0;
+    for (const auto& [u, v] : probes) {
+      const MobilityHistory* hu = set.Find(u);
+      const MobilityHistory* hv = set.Find(v);
+      if (hu == nullptr || hv == nullptr) continue;
+      const double self = engine.SelfScore(*hu, set, &stats);
+      if (self <= 0.0) continue;
+      const double pair =
+          engine.ScoreHistories(*hu, set, *hv, set, &stats);
+      ratio_sum += pair / self;
+      ++ratio_count;
+    }
+    const double avg = ratio_count > 0
+                           ? ratio_sum / static_cast<double>(ratio_count)
+                           : 0.0;
+    result.curve.push_back({level, avg});
+    xs.push_back(static_cast<double>(level));
+    ys.push_back(avg);
+  }
+
+  KneedleOptions ko;
+  ko.curve = KneedleCurve::kConvexDecreasing;
+  ko.sensitivity = options.sensitivity;
+  const auto elbow = FindKneedle(xs, ys, ko);
+  if (elbow.has_value()) {
+    result.elbow_found = true;
+    result.selected_level = result.curve[*elbow].level;
+    return result;
+  }
+
+  // Fallback: first level whose ratio is within 5% (of the curve's total
+  // drop) of the final plateau value.
+  const double y_final = ys.back();
+  const auto [mn, mx] = std::minmax_element(ys.begin(), ys.end());
+  const double span = *mx - *mn;
+  result.selected_level = result.curve.back().level;
+  if (span > 0.0) {
+    for (size_t k = 0; k < ys.size(); ++k) {
+      if (std::abs(ys[k] - y_final) <= 0.05 * span) {
+        result.selected_level = result.curve[k].level;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Result<int> AutoTuneSpatialLevelForPair(const LocationDataset& dataset_e,
+                                        const LocationDataset& dataset_i,
+                                        const TuningOptions& options) {
+  auto re = AutoTuneSpatialLevel(dataset_e, options);
+  if (!re.ok()) return re.status();
+  auto ri = AutoTuneSpatialLevel(dataset_i, options);
+  if (!ri.ok()) return ri.status();
+  return std::max(re->selected_level, ri->selected_level);
+}
+
+}  // namespace slim

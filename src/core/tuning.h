@@ -1,0 +1,70 @@
+// Spatial-level auto-tuning (paper Sec. 3.3).
+//
+// For a given temporal window width, the tuner chooses the coarsest spatial
+// level beyond which finer detail stops improving the linkage while still
+// inflating its cost. It tests how distinguishable entities are *within* a
+// single dataset: for a sample of entities it computes the average ratio
+// S(u, v) / S(u, u) of pair similarity to self-similarity at each candidate
+// level. The ratio falls as detail grows and flattens once entities are
+// fully separable; the Kneedle elbow of that curve is the selected level.
+// For a linkage, the procedure runs on both datasets independently and the
+// higher elbow wins.
+#ifndef SLIM_CORE_TUNING_H_
+#define SLIM_CORE_TUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity.h"
+#include "data/dataset.h"
+
+namespace slim {
+
+/// Auto-tuner configuration.
+struct TuningOptions {
+  /// Candidate spatial levels, strictly increasing.
+  std::vector<int> candidate_levels = {4, 6, 8, 10, 12, 14, 16, 18, 20};
+  /// Temporal window width the linkage will use.
+  int64_t window_seconds = 900;
+  /// Sampled entity count (the paper's "subset of entities").
+  size_t sample_entities = 16;
+  /// Cross partners drawn per sampled entity.
+  size_t partners_per_entity = 8;
+  /// Similarity parameters used for the probe scores.
+  SimilarityConfig similarity;
+  /// Kneedle sensitivity.
+  double sensitivity = 1.0;
+  uint64_t seed = 1234;
+};
+
+/// One point of the probe curve.
+struct TuningCurvePoint {
+  int level = 0;
+  /// Mean of S(u, v) / S(u, u) over the sampled pairs at this level.
+  double avg_ratio = 0.0;
+};
+
+/// Tuner output: the chosen level plus the curve behind the choice.
+struct TuningResult {
+  int selected_level = 0;
+  std::vector<TuningCurvePoint> curve;
+  /// False when no elbow was found and the fallback (the level where the
+  /// curve first gets within 5% of its final value) was used.
+  bool elbow_found = false;
+};
+
+/// Tunes the spatial level for one dataset. Fails when the dataset has
+/// fewer than 2 entities or candidate levels are invalid.
+Result<TuningResult> AutoTuneSpatialLevel(const LocationDataset& dataset,
+                                          const TuningOptions& options);
+
+/// Tunes both datasets independently and returns the higher selected level
+/// (paper: "we use the higher elbow point as the spatial detail level").
+Result<int> AutoTuneSpatialLevelForPair(const LocationDataset& dataset_e,
+                                        const LocationDataset& dataset_i,
+                                        const TuningOptions& options);
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_TUNING_H_

@@ -1,0 +1,151 @@
+#include "data/cab_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+struct Hotspot {
+  LatLng center;
+  double weight;
+};
+
+LatLng UniformInBox(const CabGeneratorOptions& opt, Rng* rng) {
+  return LatLng{rng->NextDouble(opt.lat_lo, opt.lat_hi),
+                rng->NextDouble(opt.lng_lo, opt.lng_hi)};
+}
+
+LatLng ClampToBox(const CabGeneratorOptions& opt, const LatLng& p) {
+  return LatLng{std::clamp(p.lat_deg, opt.lat_lo, opt.lat_hi),
+                std::clamp(p.lng_deg, opt.lng_lo, opt.lng_hi)};
+}
+
+// Linear interpolation in lat/lng is accurate enough inside a ~20 km box.
+LatLng Interpolate(const LatLng& a, const LatLng& b, double f) {
+  return LatLng{a.lat_deg + (b.lat_deg - a.lat_deg) * f,
+                a.lng_deg + (b.lng_deg - a.lng_deg) * f};
+}
+
+}  // namespace
+
+LocationDataset GenerateCabDataset(const CabGeneratorOptions& opt) {
+  SLIM_CHECK_MSG(opt.num_taxis > 0, "num_taxis must be positive");
+  SLIM_CHECK_MSG(opt.duration_days > 0, "duration_days must be positive");
+  SLIM_CHECK_MSG(opt.record_interval_seconds > 0,
+                 "record_interval_seconds must be positive");
+  SLIM_CHECK_MSG(opt.min_speed_kmh > 0 && opt.max_speed_kmh >= opt.min_speed_kmh,
+                 "speed range invalid");
+
+  Rng master_rng(opt.seed);
+
+  // Hotspots with Zipf popularity.
+  std::vector<Hotspot> hotspots;
+  hotspots.reserve(static_cast<size_t>(opt.num_hotspots));
+  for (int h = 0; h < opt.num_hotspots; ++h) {
+    hotspots.push_back(
+        {UniformInBox(opt, &master_rng),
+         1.0 / std::pow(static_cast<double>(h + 1), opt.hotspot_skew)});
+  }
+  double total_weight = 0.0;
+  for (const auto& h : hotspots) total_weight += h.weight;
+
+  auto pick_destination = [&](Rng* rng) -> LatLng {
+    if (!hotspots.empty() && rng->NextBernoulli(opt.hotspot_probability)) {
+      double x = rng->NextDouble() * total_weight;
+      size_t idx = 0;
+      for (; idx + 1 < hotspots.size(); ++idx) {
+        x -= hotspots[idx].weight;
+        if (x <= 0.0) break;
+      }
+      const LatLng c = hotspots[idx].center;
+      const double bearing = rng->NextDouble(0.0, 360.0);
+      const double dist =
+          std::abs(rng->NextGaussian()) * opt.hotspot_sigma_meters;
+      return ClampToBox(opt, DestinationPoint(c, bearing, dist));
+    }
+    return UniformInBox(opt, rng);
+  };
+
+  const double duration_s = opt.duration_days * 86400.0;
+  LocationDataset out("cab");
+  out.Reserve(static_cast<size_t>(
+      static_cast<double>(opt.num_taxis) * duration_s /
+      opt.record_interval_seconds * 1.05));
+
+  for (int taxi = 0; taxi < opt.num_taxis; ++taxi) {
+    Rng rng = master_rng.Fork(static_cast<uint64_t>(taxi));
+    double now = 0.0;  // seconds since start
+    LatLng pos = pick_destination(&rng);
+    // Stagger sampling phases across taxis.
+    double next_sample = rng.NextDouble(0.0, opt.record_interval_seconds);
+    // Duty cycling: stagger the first shift boundary, too.
+    const bool duty_cycling =
+        opt.rest_hours_mean > 0.0 && opt.duty_hours_mean > 0.0;
+    double shift_end =
+        duty_cycling
+            ? rng.NextDouble(0.0, opt.duty_hours_mean * 3600.0)
+            : duration_s;
+
+    auto emit = [&](const LatLng& p, double t) {
+      LatLng noisy = p;
+      if (opt.gps_noise_meters > 0.0) {
+        noisy = DestinationPoint(
+            p, rng.NextDouble(0.0, 360.0),
+            std::abs(rng.NextGaussian()) * opt.gps_noise_meters);
+      }
+      out.Add(static_cast<EntityId>(taxi), ClampToBox(opt, noisy),
+              opt.start_epoch + static_cast<int64_t>(t));
+    };
+
+    while (now < duration_s) {
+      if (duty_cycling && now >= shift_end) {
+        // Park: stay silent through the rest period, then start a new
+        // shift from the same position (physically consistent).
+        const double rest =
+            rng.NextExponential(1.0 / (opt.rest_hours_mean * 3600.0));
+        now += rest;
+        next_sample = std::max(next_sample, now);
+        shift_end = now + rng.NextExponential(
+                              1.0 / (opt.duty_hours_mean * 3600.0));
+        continue;
+      }
+
+      // One leg: drive from pos to dest at a constant speed, then dwell.
+      const LatLng dest = pick_destination(&rng);
+      const double speed_mps =
+          rng.NextDouble(opt.min_speed_kmh, opt.max_speed_kmh) / 3.6;
+      const double leg_len = HaversineMeters(pos, dest);
+      const double leg_time = leg_len / speed_mps;
+      const double leg_end = now + leg_time;
+      const double sample_until = std::min(leg_end, shift_end);
+
+      while (next_sample <= sample_until && next_sample < duration_s) {
+        const double f = leg_time > 0.0 ? (next_sample - now) / leg_time : 1.0;
+        emit(Interpolate(pos, dest, std::clamp(f, 0.0, 1.0)), next_sample);
+        next_sample += opt.record_interval_seconds *
+                       rng.NextDouble(0.7, 1.3);  // cadence jitter
+      }
+      now = leg_end;
+      pos = dest;
+      if (duty_cycling && now >= shift_end) continue;
+
+      const double dwell = rng.NextExponential(1.0 / opt.dwell_mean_seconds);
+      const double dwell_end = now + dwell;
+      const double dwell_until = std::min(dwell_end, shift_end);
+      while (next_sample <= dwell_until && next_sample < duration_s) {
+        emit(pos, next_sample);
+        next_sample += opt.record_interval_seconds * rng.NextDouble(0.7, 1.3);
+      }
+      now = dwell_end;
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace slim

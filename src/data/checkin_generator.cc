@@ -1,0 +1,127 @@
+#include "data/checkin_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+struct City {
+  LatLng center;
+  std::vector<LatLng> venues;
+};
+
+LatLng RandomCityCenter(Rng* rng) {
+  // Keep cities between +/- 60 degrees latitude (where people live) and
+  // anywhere in longitude.
+  return LatLng{rng->NextDouble(-60.0, 60.0), rng->NextDouble(-180.0, 180.0)};
+}
+
+LatLng RandomPointInDisc(const LatLng& center, double radius_m, Rng* rng) {
+  const double bearing = rng->NextDouble(0.0, 360.0);
+  // sqrt for uniform density over the disc.
+  const double dist = radius_m * std::sqrt(rng->NextDouble());
+  return DestinationPoint(center, bearing, dist);
+}
+
+}  // namespace
+
+LocationDataset GenerateCheckinDataset(const CheckinGeneratorOptions& opt) {
+  SLIM_CHECK_MSG(opt.num_users > 0, "num_users must be positive");
+  SLIM_CHECK_MSG(opt.num_cities > 0, "num_cities must be positive");
+  SLIM_CHECK_MSG(opt.mean_checkins > 0, "mean_checkins must be positive");
+  SLIM_CHECK_MSG(opt.min_favorites > 0 &&
+                     opt.max_favorites >= opt.min_favorites,
+                 "favourite venue range invalid");
+
+  Rng master_rng(opt.seed);
+
+  // Assign users to home cities first so venue pools can be sized.
+  std::vector<size_t> home_city(static_cast<size_t>(opt.num_users));
+  std::vector<size_t> city_population(static_cast<size_t>(opt.num_cities), 0);
+  for (auto& c : home_city) {
+    c = master_rng.NextZipf(static_cast<uint64_t>(opt.num_cities),
+                            opt.city_skew);
+    ++city_population[c];
+  }
+
+  std::vector<City> cities(static_cast<size_t>(opt.num_cities));
+  for (size_t c = 0; c < cities.size(); ++c) {
+    cities[c].center = RandomCityCenter(&master_rng);
+    const size_t pool =
+        std::max(static_cast<size_t>(opt.venues_per_city_min),
+                 static_cast<size_t>(std::ceil(
+                     static_cast<double>(city_population[c]) *
+                     opt.venues_per_user_factor)));
+    cities[c].venues.reserve(pool);
+    for (size_t v = 0; v < pool; ++v) {
+      cities[c].venues.push_back(RandomPointInDisc(
+          cities[c].center, opt.city_radius_meters, &master_rng));
+    }
+  }
+
+  const double duration_s = opt.duration_days * 86400.0;
+  LocationDataset out("sm");
+  out.Reserve(static_cast<size_t>(static_cast<double>(opt.num_users) *
+                                  opt.mean_checkins * 1.1));
+
+  for (int user = 0; user < opt.num_users; ++user) {
+    Rng rng = master_rng.Fork(static_cast<uint64_t>(user));
+    const City& home = cities[home_city[static_cast<size_t>(user)]];
+
+    // Personal favourite venues, Zipf over the city pool so popular venues
+    // are shared across users.
+    const int n_fav = static_cast<int>(
+        rng.NextInt64(opt.min_favorites, opt.max_favorites));
+    std::vector<LatLng> favorites;
+    favorites.reserve(static_cast<size_t>(n_fav));
+    for (int f = 0; f < n_fav; ++f) {
+      const size_t v = rng.NextZipf(home.venues.size(), opt.venue_skew);
+      favorites.push_back(home.venues[v]);
+    }
+
+    // Optional trip window to another city.
+    bool travels = rng.NextBernoulli(opt.travel_probability) &&
+                   cities.size() > 1;
+    double trip_start = 0.0, trip_end = 0.0;
+    const City* trip_city = nullptr;
+    if (travels) {
+      const double trip_len =
+          std::min(opt.travel_days * 86400.0, duration_s * 0.5);
+      trip_start = rng.NextDouble(0.0, duration_s - trip_len);
+      trip_end = trip_start + trip_len;
+      size_t other;
+      do {
+        other = rng.NextUint64(cities.size());
+      } while (other == home_city[static_cast<size_t>(user)]);
+      trip_city = &cities[other];
+    }
+
+    const uint64_t n_checkins = rng.NextPoisson(opt.mean_checkins);
+    for (uint64_t k = 0; k < n_checkins; ++k) {
+      const double t = rng.NextDouble(0.0, duration_s);
+      LatLng where;
+      if (travels && t >= trip_start && t < trip_end) {
+        // Away: random venue of the trip city.
+        where = trip_city->venues[rng.NextUint64(trip_city->venues.size())];
+      } else {
+        where = favorites[rng.NextUint64(favorites.size())];
+      }
+      if (opt.position_noise_meters > 0.0) {
+        where = DestinationPoint(
+            where, rng.NextDouble(0.0, 360.0),
+            std::abs(rng.NextGaussian()) * opt.position_noise_meters);
+      }
+      out.Add(static_cast<EntityId>(user), where,
+              opt.start_epoch + static_cast<int64_t>(t));
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace slim

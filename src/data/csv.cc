@@ -1,0 +1,60 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <string>
+
+#include "common/strings.h"
+
+namespace slim {
+
+Status WriteCsv(const LocationDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "entity_id,lat,lng,timestamp\n";
+  for (const Record& r : dataset.records()) {
+    out << r.entity << ',' << StrFormat("%.7f", r.location.lat_deg) << ','
+        << StrFormat("%.7f", r.location.lng_deg) << ',' << r.timestamp
+        << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<LocationDataset> ReadCsv(const std::string& path,
+                                const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  size_t line_no = 0;
+  std::vector<Record> records;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    if (line_no == 1 && stripped.rfind("entity_id", 0) == 0) continue;  // header
+    const auto fields = SplitString(stripped, ',');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 4 fields, got %zu", path.c_str(),
+                    line_no, fields.size()));
+    }
+    auto entity = ParseInt64(fields[0]);
+    auto lat = ParseDouble(fields[1]);
+    auto lng = ParseDouble(fields[2]);
+    auto ts = ParseInt64(fields[3]);
+    if (!entity.ok() || !lat.ok() || !lng.ok() || !ts.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed record", path.c_str(), line_no));
+    }
+    const LatLng loc = LatLng{*lat, *lng}.Normalized();
+    if (std::abs(*lat) > 90.0 || std::abs(*lng) > 360.0) {
+      return Status::OutOfRange(
+          StrFormat("%s:%zu: coordinate out of range", path.c_str(), line_no));
+    }
+    records.push_back(Record{*entity, loc, *ts});
+  }
+  return LocationDataset::FromRecords(name, std::move(records));
+}
+
+}  // namespace slim

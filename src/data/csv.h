@@ -1,0 +1,27 @@
+// CSV persistence for location datasets.
+//
+// Format (one header line, then one record per line):
+//   entity_id,lat,lng,timestamp
+// matching the minimal feature set the paper retains ("we use only time,
+// lat-long and anonymized user-id, and remove all other features").
+#ifndef SLIM_DATA_CSV_H_
+#define SLIM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace slim {
+
+/// Writes `dataset` to `path`. Overwrites any existing file.
+Status WriteCsv(const LocationDataset& dataset, const std::string& path);
+
+/// Reads a dataset (named `name`) from `path`. Fails with a line-numbered
+/// message on malformed rows or out-of-range coordinates.
+Result<LocationDataset> ReadCsv(const std::string& path,
+                                const std::string& name);
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_CSV_H_

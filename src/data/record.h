@@ -1,0 +1,28 @@
+// The record triple {u, l, t} of the paper (Sec. 2.1).
+#ifndef SLIM_DATA_RECORD_H_
+#define SLIM_DATA_RECORD_H_
+
+#include <cstdint>
+
+#include "geo/latlng.h"
+
+namespace slim {
+
+/// Identifier of an entity within one dataset. Ids are dataset-local and
+/// anonymised — the same real-world entity carries unrelated ids in the two
+/// datasets being linked (that is the whole problem).
+using EntityId = int64_t;
+
+/// One spatio-temporal usage record: entity `entity` was observed at
+/// `location` at epoch-second `timestamp`.
+struct Record {
+  EntityId entity = 0;
+  LatLng location;
+  int64_t timestamp = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_RECORD_H_

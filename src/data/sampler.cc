@@ -1,0 +1,146 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace slim {
+namespace {
+
+// Fisher-Yates shuffle driven by our deterministic Rng.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng->NextUint64(i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+// Copies the records of `master_entity` into `side`, applying inclusion
+// sampling and the per-side perturbations. Returns how many records were
+// emitted.
+size_t EmitRecords(const LocationDataset& master, EntityId master_entity,
+                   EntityId new_id, const PairSampleOptions& opt,
+                   LocationDataset* side, Rng* rng) {
+  size_t emitted = 0;
+  for (const Record& r : master.RecordsOf(master_entity)) {
+    if (!rng->NextBernoulli(opt.inclusion_probability)) continue;
+    Record out = r;
+    out.entity = new_id;
+    if (opt.location_noise_meters > 0.0) {
+      const double bearing = rng->NextDouble(0.0, 360.0);
+      const double dist =
+          std::abs(rng->NextGaussian()) * opt.location_noise_meters;
+      out.location = DestinationPoint(out.location, bearing, dist);
+    }
+    if (opt.time_jitter_seconds > 0) {
+      out.timestamp +=
+          rng->NextInt64(-opt.time_jitter_seconds, opt.time_jitter_seconds);
+    }
+    side->Add(out);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace
+
+Result<LinkedPairSample> SampleLinkedPair(const LocationDataset& master,
+                                          const PairSampleOptions& options) {
+  if (options.intersection_ratio < 0.0 || options.intersection_ratio > 1.0) {
+    return Status::InvalidArgument("intersection_ratio must be in [0,1]");
+  }
+  if (options.inclusion_probability <= 0.0 ||
+      options.inclusion_probability > 1.0) {
+    return Status::InvalidArgument("inclusion_probability must be in (0,1]");
+  }
+
+  std::vector<EntityId> pool = master.entity_ids();
+  Rng rng(options.seed);
+  Shuffle(&pool, &rng);
+
+  // Choose side size n and common count c = round(rho * n) such that
+  // 2n - c <= |pool|.
+  size_t n = options.entities_per_side;
+  const double rho = options.intersection_ratio;
+  if (n == 0) {
+    // Largest n with 2n - round(rho*n) <= |pool|.
+    n = pool.size();
+    while (n > 0) {
+      const size_t c = static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
+      if (2 * n - c <= pool.size()) break;
+      --n;
+    }
+  }
+  const size_t c = static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
+  if (n == 0 || 2 * n - c > pool.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "master has %zu entities; cannot draw two sides of %zu with %zu "
+        "common",
+        pool.size(), n, c));
+  }
+
+  // pool[0, c)           -> common entities
+  // pool[c, n)           -> exclusive to A
+  // pool[n, 2n - c)      -> exclusive to B
+  LinkedPairSample out;
+  out.a.set_name(master.name() + "/A");
+  out.b.set_name(master.name() + "/B");
+
+  // Fresh anonymised ids, assigned in shuffled orders that differ per side
+  // so ids carry no alignment signal.
+  std::vector<size_t> order_a(n), order_b(n);
+  for (size_t i = 0; i < n; ++i) order_a[i] = i;
+  Shuffle(&order_a, &rng);
+  for (size_t i = 0; i < n; ++i) order_b[i] = i;
+  Shuffle(&order_b, &rng);
+
+  // Per-master-entity ids on each side; common entities occupy the first c
+  // slots of each side's source list.
+  std::vector<EntityId> side_a_master(pool.begin(),
+                                      pool.begin() + static_cast<long>(n));
+  std::vector<EntityId> side_b_master(pool.begin(),
+                                      pool.begin() + static_cast<long>(c));
+  side_b_master.insert(side_b_master.end(),
+                       pool.begin() + static_cast<long>(n),
+                       pool.begin() + static_cast<long>(2 * n - c));
+
+  std::unordered_map<EntityId, EntityId> a_ids;  // master -> new id in A
+  std::unordered_map<EntityId, EntityId> b_ids;  // master -> new id in B
+  for (size_t i = 0; i < n; ++i) {
+    a_ids[side_a_master[i]] = static_cast<EntityId>(order_a[i]);
+    b_ids[side_b_master[i]] = static_cast<EntityId>(order_b[i]);
+  }
+
+  Rng rec_rng_a = rng.Fork(1);
+  Rng rec_rng_b = rng.Fork(2);
+  for (const auto& [master_id, new_id] : a_ids) {
+    EmitRecords(master, master_id, new_id, options, &out.a, &rec_rng_a);
+  }
+  for (const auto& [master_id, new_id] : b_ids) {
+    EmitRecords(master, master_id, new_id, options, &out.b, &rec_rng_b);
+  }
+  out.a.Finalize();
+  out.b.Finalize();
+  if (options.min_records > 0) {
+    out.a.FilterMinRecords(options.min_records);
+    out.b.FilterMinRecords(options.min_records);
+  }
+
+  // Ground truth: common master entities that survived filtering on BOTH
+  // sides.
+  for (size_t i = 0; i < c; ++i) {
+    const EntityId m = pool[i];
+    const EntityId ida = a_ids.at(m);
+    const EntityId idb = b_ids.at(m);
+    if (out.a.ContainsEntity(ida) && out.b.ContainsEntity(idb)) {
+      out.truth.a_to_b[ida] = idb;
+    }
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,79 @@
+// Experiment sampler (paper Sec. 5.1).
+//
+// From one master dataset it derives the two location datasets to be linked:
+//   * the *entity intersection ratio* rho controls what fraction of the
+//     (smaller) side's entities also appear on the other side, and
+//   * the *record inclusion probability* p independently downsamples each
+//     side's records, emulating two asynchronously-used services.
+// Entities with fewer than `min_records` surviving records are dropped (the
+// paper ignores entities with <= 5 records). Both sides are re-anonymised
+// with fresh, unrelated ids; the ground-truth mapping between them is
+// returned alongside for evaluation only.
+#ifndef SLIM_DATA_SAMPLER_H_
+#define SLIM_DATA_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace slim {
+
+/// Evaluation-only mapping between the anonymised ids of the two sampled
+/// datasets. An entry (a, b) states that id `a` in dataset A and id `b` in
+/// dataset B are the same real-world entity.
+struct GroundTruth {
+  std::unordered_map<EntityId, EntityId> a_to_b;
+
+  size_t size() const { return a_to_b.size(); }
+  bool AreLinked(EntityId a, EntityId b) const {
+    const auto it = a_to_b.find(a);
+    return it != a_to_b.end() && it->second == b;
+  }
+};
+
+/// Configuration for SampleLinkedPair().
+struct PairSampleOptions {
+  /// Number of entities drawn for each side (paper: 265 for Cab, ~30k for
+  /// SM). 0 means "as many as the master dataset allows" given the ratio.
+  size_t entities_per_side = 0;
+
+  /// Fraction of the smaller side's entities present on both sides
+  /// (paper default 0.5). Must be in [0, 1].
+  double intersection_ratio = 0.5;
+
+  /// Probability that a master record of a kept entity enters a given side
+  /// (paper default 0.5; the two sides draw independently). Must be in
+  /// (0, 1].
+  double inclusion_probability = 0.5;
+
+  /// Entities with fewer than this many records on a side are dropped from
+  /// that side (paper: "ignore an entity if it does not have more than 5
+  /// records" -> 6).
+  size_t min_records = 6;
+
+  /// Optional per-side perturbations emulating measurement differences
+  /// between two distinct services.
+  double location_noise_meters = 0.0;
+  int64_t time_jitter_seconds = 0;
+
+  uint64_t seed = 7;
+};
+
+/// The two datasets to be linked plus their evaluation-only ground truth.
+struct LinkedPairSample {
+  LocationDataset a;
+  LocationDataset b;
+  GroundTruth truth;
+};
+
+/// Draws the two overlapping sides from `master` per `options`.
+/// Fails if the master has too few entities for the requested sizes/ratio.
+Result<LinkedPairSample> SampleLinkedPair(const LocationDataset& master,
+                                          const PairSampleOptions& options);
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_SAMPLER_H_

@@ -1,0 +1,51 @@
+#include "eval/links_io.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace slim {
+
+Status WriteLinksCsv(const std::vector<LinkedEntityPair>& links,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "entity_a,entity_b,score\n";
+  for (const auto& link : links) {
+    out << link.u << ',' << link.v << ','
+        << StrFormat("%.6f", link.score) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<LinkedEntityPair>> ReadLinksCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<LinkedEntityPair> links;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    if (line_no == 1 && stripped.rfind("entity_a", 0) == 0) continue;
+    const auto fields = SplitString(stripped, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 3 fields", path.c_str(), line_no));
+    }
+    auto a = ParseInt64(fields[0]);
+    auto b = ParseInt64(fields[1]);
+    auto s = ParseDouble(fields[2]);
+    if (!a.ok() || !b.ok() || !s.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed link", path.c_str(), line_no));
+    }
+    links.push_back({*a, *b, *s});
+  }
+  return links;
+}
+
+}  // namespace slim

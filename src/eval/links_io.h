@@ -1,0 +1,23 @@
+// Persistence for linkage results: links as CSV (entity_a,entity_b,score).
+#ifndef SLIM_EVAL_LINKS_IO_H_
+#define SLIM_EVAL_LINKS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/slim.h"
+
+namespace slim {
+
+/// Writes the links to `path` as "entity_a,entity_b,score" rows with a
+/// header line. Overwrites any existing file.
+Status WriteLinksCsv(const std::vector<LinkedEntityPair>& links,
+                     const std::string& path);
+
+/// Reads links back from `path` (the WriteLinksCsv format).
+Result<std::vector<LinkedEntityPair>> ReadLinksCsv(const std::string& path);
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_LINKS_IO_H_

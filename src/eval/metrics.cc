@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace slim {
+
+LinkageQuality EvaluateLinks(const std::vector<LinkedEntityPair>& links,
+                             const GroundTruth& truth) {
+  LinkageQuality q;
+  for (const auto& link : links) {
+    if (truth.AreLinked(link.u, link.v)) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  SLIM_CHECK(truth.size() >= q.true_positives);
+  q.false_negatives = truth.size() - q.true_positives;
+  const double tp = static_cast<double>(q.true_positives);
+  q.precision = (q.true_positives + q.false_positives) > 0
+                    ? tp / static_cast<double>(q.true_positives +
+                                               q.false_positives)
+                    : 0.0;
+  q.recall = truth.size() > 0 ? tp / static_cast<double>(truth.size()) : 0.0;
+  q.f1 = (q.precision + q.recall) > 0.0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+double HitPrecisionAtK(const BipartiteGraph& scored_pairs,
+                       const std::vector<EntityId>& left_entities,
+                       const GroundTruth& truth, int k) {
+  SLIM_CHECK_MSG(k >= 1, "HitPrecision requires k >= 1");
+  if (left_entities.empty()) return 0.0;
+
+  // Bucket the scored edges by left entity.
+  std::unordered_map<EntityId, std::vector<std::pair<double, EntityId>>>
+      by_left;
+  for (const auto& e : scored_pairs.edges()) {
+    by_left[e.u].emplace_back(e.weight, e.v);
+  }
+
+  double total = 0.0;
+  for (EntityId u : left_entities) {
+    const auto truth_it = truth.a_to_b.find(u);
+    if (truth_it == truth.a_to_b.end()) continue;  // contributes 0
+    const auto lst = by_left.find(u);
+    if (lst == by_left.end()) continue;
+    auto scored = lst->second;
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (size_t rank0 = 0;
+         rank0 < scored.size() && rank0 < static_cast<size_t>(k); ++rank0) {
+      if (scored[rank0].second == truth_it->second) {
+        total += 1.0 - static_cast<double>(rank0) / static_cast<double>(k);
+        break;
+      }
+    }
+  }
+  return total / static_cast<double>(left_entities.size());
+}
+
+}  // namespace slim

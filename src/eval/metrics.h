@@ -1,0 +1,46 @@
+// Ground-truth evaluation metrics used throughout the paper's Sec. 5:
+// precision / recall / F1 over produced links, and Hit-Precision@k over the
+// scored candidate lists.
+#ifndef SLIM_EVAL_METRICS_H_
+#define SLIM_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/slim.h"
+#include "data/sampler.h"
+#include "match/bipartite.h"
+
+namespace slim {
+
+/// Confusion counts and derived rates for a set of links.
+struct LinkageQuality {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `links` against `truth`. A link counts as a true positive only if
+/// it exactly matches a ground-truth pair; recall is over all ground-truth
+/// pairs.
+LinkageQuality EvaluateLinks(const std::vector<LinkedEntityPair>& links,
+                             const GroundTruth& truth);
+
+/// Hit-Precision@k (paper Sec. 5.5): for each left-side entity u in
+/// `left_entities`, rank all scored right-side partners by decreasing score
+/// (ties toward smaller id); if u's true partner appears at 1-based rank
+/// r <= k the entity contributes 1 - (r - 1) / k, otherwise 0. Entities
+/// without a ground-truth partner (or whose partner was never scored)
+/// contribute 0, and the mean runs over ALL of `left_entities` — with a
+/// 50% intersection ratio the best achievable value is therefore 0.5,
+/// matching the paper's setup.
+double HitPrecisionAtK(const BipartiteGraph& scored_pairs,
+                       const std::vector<EntityId>& left_entities,
+                       const GroundTruth& truth, int k);
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_METRICS_H_

@@ -1,0 +1,42 @@
+// Human-readable linkage reports.
+//
+// Renders a LinkageResult (and optionally its ground-truth quality) as a
+// self-contained markdown document: headline numbers, phase timings, the
+// matched-score histogram around the detected stop threshold, and the LSH
+// filtering effectiveness. Used by the slim_link CLI's --report flag.
+#ifndef SLIM_EVAL_REPORT_H_
+#define SLIM_EVAL_REPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/slim.h"
+#include "eval/metrics.h"
+
+namespace slim {
+
+/// Inputs for RenderLinkageReport.
+struct ReportOptions {
+  std::string title = "SLIM linkage report";
+  /// Names of the two datasets, for display.
+  std::string dataset_a = "A";
+  std::string dataset_b = "B";
+  /// When provided, a ground-truth quality section is included.
+  std::optional<LinkageQuality> quality;
+  /// Histogram bins for the matched-score section.
+  int histogram_bins = 20;
+};
+
+/// Renders the markdown report.
+std::string RenderLinkageReport(const LinkageResult& result,
+                                const ReportOptions& options);
+
+/// Renders and writes the report to `path`.
+Status WriteLinkageReport(const LinkageResult& result,
+                          const ReportOptions& options,
+                          const std::string& path);
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_REPORT_H_

@@ -1,0 +1,55 @@
+// Shared harness for the figure-reproduction benches: bench-scale
+// configuration (env SLIM_BENCH_SCALE=small|full), cached master datasets,
+// and a standard "link and evaluate" runner.
+#ifndef SLIM_EVAL_RUNNER_H_
+#define SLIM_EVAL_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/slim.h"
+#include "data/cab_generator.h"
+#include "data/checkin_generator.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+
+namespace slim {
+
+/// Bench workload scale.
+enum class BenchScale {
+  kSmall,  // finishes the full harness on a laptop-class machine (default)
+  kFull,   // paper-scale entity counts (hours of runtime)
+};
+
+/// Reads SLIM_BENCH_SCALE from the environment ("small"/"full"),
+/// defaulting to small.
+BenchScale BenchScaleFromEnv();
+
+/// Generator options matching the chosen scale for the two workloads (see
+/// DESIGN.md §1 for how these mirror the paper's Cab and SM datasets).
+CabGeneratorOptions CabOptionsForScale(BenchScale scale);
+CheckinGeneratorOptions CheckinOptionsForScale(BenchScale scale);
+
+/// Master datasets, generated once per process and cached.
+const LocationDataset& CachedCabMaster(BenchScale scale);
+const LocationDataset& CachedCheckinMaster(BenchScale scale);
+
+/// One linkage experiment outcome: SLIM's result plus its ground-truth
+/// quality.
+struct ExperimentOutcome {
+  LinkageResult result;
+  LinkageQuality quality;
+};
+
+/// Samples the pair from `master` and runs `config` on it.
+/// Aborts (SLIM_CHECK) on configuration errors — benches want loud failure.
+ExperimentOutcome RunLinkage(const LocationDataset& master,
+                             const PairSampleOptions& sample_options,
+                             const SlimConfig& config);
+
+/// Convenience: "0.9876" style fixed formatting for bench tables.
+std::string Fmt(double v, int decimals = 4);
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_RUNNER_H_

@@ -1,0 +1,53 @@
+#include "eval/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace slim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SLIM_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SLIM_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string* out,
+                        const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *out += row[c];
+      out->append(width[c] - row[c].size(), ' ');
+      *out += (c + 1 < row.size()) ? "  " : "";
+    }
+    *out += '\n';
+  };
+  std::string out;
+  append_row(&out, headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  out.append(total >= 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace slim

@@ -1,0 +1,34 @@
+// Column-aligned ASCII table printer for the figure-reproduction benches.
+#ifndef SLIM_EVAL_TABLE_H_
+#define SLIM_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace slim {
+
+/// Accumulates rows and prints them with aligned columns:
+///
+///   TablePrinter t({"level", "precision", "recall"});
+///   t.AddRow({"12", "0.98", "0.94"});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows).
+  std::string ToString() const;
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_TABLE_H_

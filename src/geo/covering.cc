@@ -1,0 +1,76 @@
+#include "geo/covering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace slim {
+
+std::vector<CellId> CellsCoveringRect(const LatLngRect& rect, int level,
+                                      size_t max_cells) {
+  SLIM_CHECK_MSG(level >= 0 && level <= CellId::kMaxLevel,
+                 "invalid cell level");
+  SLIM_CHECK_MSG(rect.lat_hi >= rect.lat_lo, "invalid rect latitudes");
+
+  const double lat_lo = std::clamp(rect.lat_lo, -90.0, 90.0);
+  const double lat_hi = std::clamp(rect.lat_hi, -90.0, 90.0);
+
+  const CellId sw = CellId::FromLatLng({lat_lo, rect.lng_lo}, level);
+  const CellId ne_lat = CellId::FromLatLng({lat_hi, rect.lng_lo}, level);
+  const uint64_t i_lo = sw.i();
+  const uint64_t i_hi = ne_lat.i();
+
+  // Longitude may wrap: enumerate column indices along the (possibly
+  // wrapped) interval from lng_lo east to lng_hi.
+  const uint64_t n = 1ULL << level;
+  const uint64_t j_lo = CellId::FromLatLng({lat_lo, rect.lng_lo}, level).j();
+  const uint64_t j_hi = CellId::FromLatLng({lat_lo, rect.lng_hi}, level).j();
+  std::vector<uint64_t> cols;
+  uint64_t j = j_lo;
+  for (;;) {
+    cols.push_back(j);
+    if (j == j_hi) break;
+    j = (j + 1) % n;
+    SLIM_CHECK_MSG(cols.size() <= n, "covering column enumeration ran away");
+  }
+
+  std::vector<CellId> out;
+  const size_t rows = static_cast<size_t>(i_hi - i_lo + 1);
+  SLIM_CHECK_MSG(rows * cols.size() <= max_cells,
+                 "covering exceeds max_cells; use a coarser level");
+  out.reserve(rows * cols.size());
+  for (uint64_t i = i_lo; i <= i_hi; ++i) {
+    for (uint64_t c : cols) out.push_back(CellId::FromIndices(level, i, c));
+  }
+  return out;
+}
+
+std::vector<CellId> CellsCoveringDisc(const LatLng& center, double radius_m,
+                                      int level, size_t max_cells) {
+  SLIM_CHECK_MSG(radius_m >= 0.0, "radius must be non-negative");
+  const LatLng c = center.Normalized();
+  const double dlat = radius_m / kEarthRadiusMeters * (180.0 / M_PI);
+  const double coslat =
+      std::max(0.01, std::cos(c.lat_deg * M_PI / 180.0));
+  const double dlng = std::min(180.0, dlat / coslat);
+  LatLngRect rect;
+  rect.lat_lo = c.lat_deg - dlat;
+  rect.lat_hi = c.lat_deg + dlat;
+  // Wrap the lng interval into [-180, 180).
+  auto wrap = [](double lng) {
+    double x = std::fmod(lng + 180.0, 360.0);
+    if (x < 0) x += 360.0;
+    return x - 180.0;
+  };
+  if (dlng >= 180.0) {
+    rect.lng_lo = -180.0;
+    rect.lng_hi = 179.999999;
+  } else {
+    rect.lng_lo = wrap(c.lng_deg - dlng);
+    rect.lng_hi = wrap(c.lng_deg + dlng);
+  }
+  return CellsCoveringRect(rect, level, max_cells);
+}
+
+}  // namespace slim

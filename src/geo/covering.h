@@ -1,0 +1,31 @@
+// Cell coverings of simple regions.
+//
+// Supports the paper's region-records extension (Sec. 2.1): "our approach
+// can be extended to datasets that contain record locations as regions, by
+// copying a record into multiple cells within the mobility histories". A
+// covering enumerates the grid cells of one level that intersect a
+// geodetic rectangle or a disc around a point.
+#ifndef SLIM_GEO_COVERING_H_
+#define SLIM_GEO_COVERING_H_
+
+#include <vector>
+
+#include "geo/cell_id.h"
+
+namespace slim {
+
+/// All cells at `level` whose bounds intersect `rect` (lat clamped to the
+/// poles, lng wrapped across the antimeridian). `max_cells` guards against
+/// accidental huge enumerations at fine levels; the call aborts if the
+/// covering would exceed it.
+std::vector<CellId> CellsCoveringRect(const LatLngRect& rect, int level,
+                                      size_t max_cells = 4096);
+
+/// All cells at `level` intersecting the `radius_m` disc around `center`
+/// (approximated by the disc's bounding rectangle).
+std::vector<CellId> CellsCoveringDisc(const LatLng& center, double radius_m,
+                                      int level, size_t max_cells = 4096);
+
+}  // namespace slim
+
+#endif  // SLIM_GEO_COVERING_H_

@@ -1,0 +1,49 @@
+// Geodetic point type and great-circle helpers.
+//
+// SLIM only needs distances and simple forward geodesics (for the synthetic
+// workload generators), so a spherical Earth model is used throughout with
+// the IUGG mean radius. All distances are meters, all angles degrees.
+#ifndef SLIM_GEO_LATLNG_H_
+#define SLIM_GEO_LATLNG_H_
+
+#include <string>
+
+namespace slim {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS84-style latitude/longitude pair in degrees.
+/// Valid range: lat in [-90, 90], lng in [-180, 180).
+struct LatLng {
+  double lat_deg = 0.0;
+  double lng_deg = 0.0;
+
+  /// True if both coordinates are inside the valid range.
+  bool IsValid() const;
+
+  /// Clamps latitude into [-90, 90] and wraps longitude into [-180, 180).
+  LatLng Normalized() const;
+
+  bool operator==(const LatLng& other) const = default;
+
+  /// "(<lat>, <lng>)" with 6 decimal places (~0.1 m resolution).
+  std::string ToString() const;
+};
+
+/// Great-circle (haversine) distance between two points, in meters.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Forward geodesic on the sphere: the point reached by travelling
+/// `distance_m` meters from `origin` along `bearing_deg` (clockwise from
+/// north). Used by the trajectory generators.
+LatLng DestinationPoint(const LatLng& origin, double bearing_deg,
+                        double distance_m);
+
+/// Initial bearing (degrees clockwise from north, in [0, 360)) of the
+/// great-circle path from `a` to `b`.
+double InitialBearingDeg(const LatLng& a, const LatLng& b);
+
+}  // namespace slim
+
+#endif  // SLIM_GEO_LATLNG_H_

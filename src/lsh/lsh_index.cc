@@ -1,0 +1,144 @@
+#include "lsh/lsh_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace slim {
+namespace {
+
+// 64-bit mix for band hashing (SplitMix64 finaliser).
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Hashes one band of a signature; returns false when every row is a
+// placeholder (the band carries no evidence and must not collide).
+bool HashBand(const LshSignature& sig, size_t row_begin, size_t row_end,
+              uint64_t seed, uint64_t* out) {
+  uint64_t h = seed ^ Mix(row_begin * 0x9e3779b97f4a7c15ULL);
+  bool any = false;
+  for (size_t row = row_begin; row < row_end && row < sig.size(); ++row) {
+    if (sig.IsPlaceholder(row)) continue;
+    any = true;
+    // Positions participate so that the same cell in different query
+    // windows does not collide.
+    h = Mix(h ^ Mix((row + 1) * 0xd1b54a32d192ed03ULL) ^ sig.cells[row]);
+  }
+  *out = h;
+  return any;
+}
+
+}  // namespace
+
+LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
+                         const std::vector<Entry>& side_i,
+                         const LshConfig& config) {
+  SLIM_CHECK_MSG(config.num_buckets >= 1, "num_buckets must be >= 1");
+  LshIndex index;
+
+  // Global query grid over the union of occupied windows.
+  int64_t w_lo = std::numeric_limits<int64_t>::max();
+  int64_t w_hi = std::numeric_limits<int64_t>::min();
+  auto widen = [&](const std::vector<Entry>& side) {
+    for (const Entry& e : side) {
+      SLIM_CHECK(e.tree != nullptr);
+      if (e.tree->empty()) continue;
+      w_lo = std::min(w_lo, e.tree->min_window());
+      w_hi = std::max(w_hi, e.tree->max_window());
+    }
+  };
+  widen(side_e);
+  widen(side_i);
+  if (w_lo > w_hi) return index;  // nothing occupied anywhere
+
+  const int64_t w_end = w_hi + 1;
+  // Signatures.
+  for (const Entry& e : side_e) {
+    index.left_signatures_[e.entity] =
+        BuildSignature(*e.tree, w_lo, w_end, config.temporal_step_windows,
+                       config.signature_spatial_level);
+  }
+  for (const Entry& e : side_i) {
+    index.right_signatures_[e.entity] =
+        BuildSignature(*e.tree, w_lo, w_end, config.temporal_step_windows,
+                       config.signature_spatial_level);
+  }
+  index.signature_size_ = index.left_signatures_.empty()
+                              ? (index.right_signatures_.empty()
+                                     ? 0
+                                     : index.right_signatures_.begin()
+                                           ->second.size())
+                              : index.left_signatures_.begin()->second.size();
+  if (index.signature_size_ == 0) return index;
+
+  // Banding (Lambert-W sizing).
+  index.num_bands_ =
+      ComputeNumBands(index.signature_size_, config.similarity_threshold);
+  index.rows_per_band_ = static_cast<int>(
+      (index.signature_size_ + static_cast<size_t>(index.num_bands_) - 1) /
+      static_cast<size_t>(index.num_bands_));
+
+  // Bucket tables, one per band: bucket -> (left entities, right entities).
+  struct Bucket {
+    std::vector<EntityId> left;
+    std::vector<EntityId> right;
+  };
+  for (int band = 0; band < index.num_bands_; ++band) {
+    const size_t row_begin =
+        static_cast<size_t>(band) * static_cast<size_t>(index.rows_per_band_);
+    const size_t row_end =
+        row_begin + static_cast<size_t>(index.rows_per_band_);
+    std::unordered_map<uint64_t, Bucket> buckets;
+
+    for (const Entry& e : side_e) {
+      uint64_t h;
+      if (HashBand(index.left_signatures_.at(e.entity), row_begin, row_end,
+                   config.hash_seed, &h)) {
+        buckets[h % config.num_buckets].left.push_back(e.entity);
+      }
+    }
+    for (const Entry& e : side_i) {
+      uint64_t h;
+      if (HashBand(index.right_signatures_.at(e.entity), row_begin, row_end,
+                   config.hash_seed, &h)) {
+        buckets[h % config.num_buckets].right.push_back(e.entity);
+      }
+    }
+    for (const auto& [hash, bucket] : buckets) {
+      if (bucket.left.empty() || bucket.right.empty()) continue;
+      for (EntityId u : bucket.left) {
+        auto& list = index.candidates_[u];
+        list.insert(list.end(), bucket.right.begin(), bucket.right.end());
+      }
+    }
+  }
+
+  // De-duplicate candidate lists.
+  for (auto& [u, list] : index.candidates_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    index.total_candidate_pairs_ += list.size();
+  }
+  return index;
+}
+
+const std::vector<EntityId>& LshIndex::CandidatesFor(EntityId u) const {
+  const auto it = candidates_.find(u);
+  return it == candidates_.end() ? empty_ : it->second;
+}
+
+const LshSignature* LshIndex::LeftSignature(EntityId u) const {
+  const auto it = left_signatures_.find(u);
+  return it == left_signatures_.end() ? nullptr : &it->second;
+}
+
+const LshSignature* LshIndex::RightSignature(EntityId v) const {
+  const auto it = right_signatures_.find(v);
+  return it == right_signatures_.end() ? nullptr : &it->second;
+}
+
+}  // namespace slim

@@ -1,0 +1,69 @@
+// Banded LSH index over mobility-history signatures (paper Sec. 4).
+//
+// Signatures are split into b bands of r rows; each band is hashed into a
+// large bucket array, and a cross-dataset pair becomes a linkage candidate
+// when any band of the two signatures collides. The band count is derived
+// from the similarity threshold via the Lambert-W sizing (signature.h).
+// Placeholder rows are omitted from a band's hash; a band that is entirely
+// placeholders is not hashed at all (an empty band carries no evidence).
+#ifndef SLIM_LSH_LSH_INDEX_H_
+#define SLIM_LSH_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "lsh/signature.h"
+#include "temporal/window_tree.h"
+
+namespace slim {
+
+/// Candidate-pair index between two sides (dataset E = left, I = right).
+class LshIndex {
+ public:
+  /// One indexable history: the entity id plus its window tree. The tree
+  /// pointer must outlive the Build() call (signatures are extracted
+  /// eagerly; the tree is not retained).
+  struct Entry {
+    EntityId entity = 0;
+    const WindowSegmentTree* tree = nullptr;
+  };
+
+  /// Builds the index. The global query grid spans the union of both
+  /// sides' occupied window ranges, so signature positions align across
+  /// every history. Empty sides are allowed.
+  static LshIndex Build(const std::vector<Entry>& side_e,
+                        const std::vector<Entry>& side_i,
+                        const LshConfig& config);
+
+  /// Sorted, de-duplicated right-side candidates for left entity `u`
+  /// (empty when u collided with nothing).
+  const std::vector<EntityId>& CandidatesFor(EntityId u) const;
+
+  /// Sum over left entities of their candidate count.
+  uint64_t total_candidate_pairs() const { return total_candidate_pairs_; }
+
+  size_t signature_size() const { return signature_size_; }
+  int num_bands() const { return num_bands_; }
+  int rows_per_band() const { return rows_per_band_; }
+
+  /// The signature built for a left/right entity (tests + diagnostics);
+  /// nullptr when the entity was not indexed.
+  const LshSignature* LeftSignature(EntityId u) const;
+  const LshSignature* RightSignature(EntityId v) const;
+
+ private:
+  std::unordered_map<EntityId, std::vector<EntityId>> candidates_;
+  std::unordered_map<EntityId, LshSignature> left_signatures_;
+  std::unordered_map<EntityId, LshSignature> right_signatures_;
+  std::vector<EntityId> empty_;
+  uint64_t total_candidate_pairs_ = 0;
+  size_t signature_size_ = 0;
+  int num_bands_ = 0;
+  int rows_per_band_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_LSH_LSH_INDEX_H_

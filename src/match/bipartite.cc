@@ -1,0 +1,19 @@
+#include "match/bipartite.h"
+
+#include <unordered_set>
+
+namespace slim {
+
+size_t BipartiteGraph::num_left_vertices() const {
+  std::unordered_set<EntityId> seen;
+  for (const auto& e : edges_) seen.insert(e.u);
+  return seen.size();
+}
+
+size_t BipartiteGraph::num_right_vertices() const {
+  std::unordered_set<EntityId> seen;
+  for (const auto& e : edges_) seen.insert(e.v);
+  return seen.size();
+}
+
+}  // namespace slim

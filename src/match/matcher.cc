@@ -1,0 +1,141 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace slim {
+
+bool Matching::IsValidMatching() const {
+  std::unordered_set<EntityId> left, right;
+  for (const auto& e : pairs) {
+    if (!left.insert(e.u).second) return false;
+    if (!right.insert(e.v).second) return false;
+  }
+  return true;
+}
+
+Matching GreedyMaxWeightMatching(const BipartiteGraph& graph) {
+  std::vector<WeightedEdge> edges = graph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  Matching m;
+  std::unordered_set<EntityId> used_u, used_v;
+  for (const auto& e : edges) {
+    if (used_u.count(e.u) || used_v.count(e.v)) continue;
+    used_u.insert(e.u);
+    used_v.insert(e.v);
+    m.pairs.push_back(e);
+    m.total_weight += e.weight;
+  }
+  SLIM_DCHECK(m.IsValidMatching());
+  return m;
+}
+
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph) {
+  // Collect vertex universes; ensure rows <= cols by transposing if needed.
+  std::vector<EntityId> lefts, rights;
+  {
+    std::unordered_set<EntityId> ls, rs;
+    for (const auto& e : graph.edges()) {
+      if (ls.insert(e.u).second) lefts.push_back(e.u);
+      if (rs.insert(e.v).second) rights.push_back(e.v);
+    }
+  }
+  std::sort(lefts.begin(), lefts.end());
+  std::sort(rights.begin(), rights.end());
+  const bool transposed = lefts.size() > rights.size();
+  if (transposed) std::swap(lefts, rights);
+
+  const size_t n = lefts.size();
+  const size_t m = rights.size();
+  Matching result;
+  if (n == 0) return result;
+
+  std::unordered_map<EntityId, size_t> lidx, ridx;
+  for (size_t i = 0; i < n; ++i) lidx[lefts[i]] = i;
+  for (size_t j = 0; j < m; ++j) ridx[rights[j]] = j;
+
+  // Dense cost matrix, minimisation form: cost = -weight; absent edge = 0.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m, 0.0));
+  for (const auto& e : graph.edges()) {
+    const size_t i = transposed ? lidx.at(e.v) : lidx.at(e.u);
+    const size_t j = transposed ? ridx.at(e.u) : ridx.at(e.v);
+    cost[i][j] = std::min(cost[i][j], -e.weight);
+  }
+
+  // Shortest-augmenting-path Hungarian (1-indexed internal arrays).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u_pot(n + 1, 0.0), v_pot(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0);    // p[j]: row matched to column j
+  std::vector<size_t> way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u_pot[i0] - v_pot[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u_pot[p[j]] += delta;
+          v_pot[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  // Read out assignments; keep only pairs backed by a real positive edge.
+  std::unordered_map<EntityId, std::unordered_map<EntityId, double>> weights;
+  for (const auto& e : graph.edges()) weights[e.u][e.v] = e.weight;
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] == 0) continue;
+    const EntityId a = transposed ? rights[j - 1] : lefts[p[j] - 1];
+    const EntityId b = transposed ? lefts[p[j] - 1] : rights[j - 1];
+    const auto it = weights.find(a);
+    if (it == weights.end()) continue;
+    const auto jt = it->second.find(b);
+    if (jt == it->second.end()) continue;
+    result.pairs.push_back({a, b, jt->second});
+    result.total_weight += jt->second;
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  SLIM_DCHECK(result.IsValidMatching());
+  return result;
+}
+
+}  // namespace slim

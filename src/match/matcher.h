@@ -1,0 +1,40 @@
+// Maximum-weight bipartite matching (the assignment problem, paper
+// Sec. 3.2).
+//
+// SLIM adopts the simple greedy heuristic — "link the pair with the highest
+// similarity at each step" — which is what the paper evaluates. An exact
+// O(n^3) Hungarian solver is provided as a reference implementation for the
+// ablation benches and for verifying how far the heuristic is from optimal
+// on small instances.
+#ifndef SLIM_MATCH_MATCHER_H_
+#define SLIM_MATCH_MATCHER_H_
+
+#include <vector>
+
+#include "match/bipartite.h"
+
+namespace slim {
+
+/// A one-to-one matching: no entity appears in more than one selected edge.
+struct Matching {
+  std::vector<WeightedEdge> pairs;
+  double total_weight = 0.0;
+
+  /// Verifies the one-to-one constraint; used by tests and SLIM_DCHECKs.
+  bool IsValidMatching() const;
+};
+
+/// Greedy maximum-sum matching: repeatedly selects the heaviest remaining
+/// edge whose endpoints are both unmatched. Deterministic: ties break on
+/// (u, v). O(E log E).
+Matching GreedyMaxWeightMatching(const BipartiteGraph& graph);
+
+/// Exact maximum-weight bipartite matching via the Hungarian algorithm
+/// (shortest augmenting paths with potentials), treating absent edges as
+/// weight 0 and dropping zero-weight pairs from the result. O(n^2 m) on the
+/// dense matrix — intended for graphs up to a few thousand vertices.
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph);
+
+}  // namespace slim
+
+#endif  // SLIM_MATCH_MATCHER_H_

@@ -1,0 +1,176 @@
+#include "stats/gmm1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/kmeans.h"
+
+namespace slim {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;  // 1/sqrt(2*pi)
+constexpr double kInvSqrt2 = 0.7071067811865476;    // 1/sqrt(2)
+
+}  // namespace
+
+double Gaussian1D::Pdf(double x) const {
+  SLIM_DCHECK(variance > 0.0);
+  const double z = (x - mean) / std::sqrt(variance);
+  return kInvSqrt2Pi / std::sqrt(variance) * std::exp(-0.5 * z * z);
+}
+
+double Gaussian1D::Cdf(double x) const {
+  SLIM_DCHECK(variance > 0.0);
+  const double z = (x - mean) / std::sqrt(variance);
+  return 0.5 * std::erfc(-z * kInvSqrt2);
+}
+
+double GaussianMixture1D::Pdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components) p += c.weight * c.Pdf(x);
+  return p;
+}
+
+double GaussianMixture1D::Cdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components) p += c.weight * c.Cdf(x);
+  return p;
+}
+
+double GaussianMixture1D::Responsibility(int k, double x) const {
+  SLIM_CHECK(k >= 0 && static_cast<size_t>(k) < components.size());
+  const double total = Pdf(x);
+  if (total <= 0.0) return 0.0;
+  const auto& c = components[static_cast<size_t>(k)];
+  return c.weight * c.Pdf(x) / total;
+}
+
+Result<GaussianMixture1D> FitGmm1D(const std::vector<double>& values,
+                                   const GmmFitOptions& options) {
+  const int k = options.num_components;
+  if (k < 1) return Status::InvalidArgument("num_components must be >= 1");
+  if (values.size() < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("need at least K values to fit K components");
+  }
+
+  // Data variance for the floor.
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  if (var <= 0.0) {
+    return Status::InvalidArgument("all values identical; GMM undefined");
+  }
+  const double var_floor = std::max(var * options.variance_floor_fraction,
+                                    1e-12);
+
+  // Init from k-means.
+  const KMeans1DResult km = KMeans1D(values, k);
+  const int keff = static_cast<int>(km.centers.size());
+  GaussianMixture1D gmm;
+  gmm.components.resize(static_cast<size_t>(keff));
+  for (int c = 0; c < keff; ++c) {
+    auto& comp = gmm.components[static_cast<size_t>(c)];
+    comp.mean = km.centers[static_cast<size_t>(c)];
+    comp.weight = std::max(
+        1e-6, static_cast<double>(km.cluster_size[static_cast<size_t>(c)]) /
+                  static_cast<double>(values.size()));
+    double cvar = 0.0;
+    size_t cn = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (km.assignment[i] == c) {
+        cvar += (values[i] - comp.mean) * (values[i] - comp.mean);
+        ++cn;
+      }
+    }
+    comp.variance = std::max(cn > 0 ? cvar / static_cast<double>(cn) : var,
+                             var_floor);
+  }
+  // Renormalise weights.
+  double wsum = 0.0;
+  for (const auto& c : gmm.components) wsum += c.weight;
+  for (auto& c : gmm.components) c.weight /= wsum;
+
+  const size_t n = values.size();
+  std::vector<double> resp(n * static_cast<size_t>(keff));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (gmm.iterations = 0; gmm.iterations < options.max_iterations;
+       ++gmm.iterations) {
+    // E-step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (int c = 0; c < keff; ++c) {
+        const auto& comp = gmm.components[static_cast<size_t>(c)];
+        const double p = comp.weight * comp.Pdf(values[i]);
+        resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] = p;
+        total += p;
+      }
+      if (total <= 0.0) {
+        // Point in the far tail of every component: spread evenly.
+        for (int c = 0; c < keff; ++c) {
+          resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] =
+              1.0 / static_cast<double>(keff);
+        }
+        ll += -745.0;  // log of ~double-min; keeps ll finite
+      } else {
+        for (int c = 0; c < keff; ++c) {
+          resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] /= total;
+        }
+        ll += std::log(total);
+      }
+    }
+    gmm.log_likelihood = ll;
+
+    // M-step.
+    for (int c = 0; c < keff; ++c) {
+      double nk = 0.0, mu = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r =
+            resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)];
+        nk += r;
+        mu += r * values[i];
+      }
+      auto& comp = gmm.components[static_cast<size_t>(c)];
+      if (nk < 1e-10) {
+        // Dead component: park it at the data mean with a broad variance.
+        comp.weight = 1e-10;
+        comp.mean = mean;
+        comp.variance = var;
+        continue;
+      }
+      mu /= nk;
+      double sigma2 = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r =
+            resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)];
+        sigma2 += r * (values[i] - mu) * (values[i] - mu);
+      }
+      comp.weight = nk / static_cast<double>(n);
+      comp.mean = mu;
+      comp.variance = std::max(sigma2 / nk, var_floor);
+    }
+    // Renormalise (dead components may have skewed the sum).
+    wsum = 0.0;
+    for (const auto& c : gmm.components) wsum += c.weight;
+    for (auto& c : gmm.components) c.weight /= wsum;
+
+    if (std::abs(ll - prev_ll) / static_cast<double>(n) < options.tolerance) {
+      gmm.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  std::sort(gmm.components.begin(), gmm.components.end(),
+            [](const Gaussian1D& a, const Gaussian1D& b) {
+              return a.mean < b.mean;
+            });
+  return gmm;
+}
+
+}  // namespace slim

@@ -1,0 +1,62 @@
+// 1-D Gaussian Mixture Model fitted with EM.
+//
+// SLIM fits a two-component mixture over the matched-edge weights: one
+// component models the false-positive links, the other (larger mean) the
+// true positives, and the automated stop threshold is derived from the
+// components' CDFs (paper Sec. 3.2). The fitter is generic in the number of
+// components; SLIM uses K = 2.
+#ifndef SLIM_STATS_GMM1D_H_
+#define SLIM_STATS_GMM1D_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace slim {
+
+/// One mixture component.
+struct Gaussian1D {
+  double weight = 0.0;  // mixing proportion, sums to 1 across components
+  double mean = 0.0;
+  double variance = 1.0;
+
+  /// Component density at x (without the mixing weight).
+  double Pdf(double x) const;
+  /// Component CDF at x (without the mixing weight).
+  double Cdf(double x) const;
+};
+
+/// A fitted mixture, components sorted by ascending mean.
+struct GaussianMixture1D {
+  std::vector<Gaussian1D> components;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Mixture density at x.
+  double Pdf(double x) const;
+  /// Mixture CDF at x.
+  double Cdf(double x) const;
+  /// Posterior responsibility of component k at x.
+  double Responsibility(int k, double x) const;
+};
+
+/// Options for FitGmm1D.
+struct GmmFitOptions {
+  int num_components = 2;
+  int max_iterations = 200;
+  /// EM stops when the per-point log-likelihood improves by less than this.
+  double tolerance = 1e-7;
+  /// Variance floor, as a fraction of the data variance (keeps components
+  /// from collapsing onto a single point).
+  double variance_floor_fraction = 1e-6;
+};
+
+/// Fits a K-component mixture with EM, initialised from 1-D k-means.
+/// Fails when values.size() < K or all values are identical.
+Result<GaussianMixture1D> FitGmm1D(const std::vector<double>& values,
+                                   const GmmFitOptions& options = {});
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_GMM1D_H_

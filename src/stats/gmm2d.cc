@@ -1,0 +1,188 @@
+#include "stats/gmm2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace slim {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+constexpr double kLogFloor = -745.0;            // ~log(DBL_MIN)
+
+// Determinant and inverse of [[xx, xy], [xy, yy]].
+struct Cov2 {
+  double det;
+  double inv_xx, inv_xy, inv_yy;
+};
+
+Cov2 Invert(double xx, double xy, double yy) {
+  Cov2 c;
+  c.det = xx * yy - xy * xy;
+  SLIM_DCHECK(c.det > 0.0);
+  c.inv_xx = yy / c.det;
+  c.inv_yy = xx / c.det;
+  c.inv_xy = -xy / c.det;
+  return c;
+}
+
+// Enforces a minimum eigenvalue on a symmetric 2x2 covariance.
+void FloorCovariance(double floor, double* xx, double* xy, double* yy) {
+  const double tr = *xx + *yy;
+  const double det = *xx * *yy - *xy * *xy;
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+  const double lmin = tr / 2.0 - disc;
+  if (lmin >= floor) return;
+  // Shift both eigenvalues up by (floor - lmin): adds a multiple of I.
+  const double shift = floor - lmin;
+  *xx += shift;
+  *yy += shift;
+}
+
+}  // namespace
+
+double Gaussian2D::LogPdf(const Point2& p) const {
+  const Cov2 c = Invert(cov_xx, cov_xy, cov_yy);
+  const double dx = p.x - mean.x;
+  const double dy = p.y - mean.y;
+  const double maha =
+      dx * dx * c.inv_xx + 2.0 * dx * dy * c.inv_xy + dy * dy * c.inv_yy;
+  // N(p; mu, Sigma) in 2-D: -log(2*pi) - log(det)/2 - maha/2.
+  return -kLog2Pi - 0.5 * std::log(c.det) - 0.5 * maha;
+}
+
+double Gaussian2D::Pdf(const Point2& p) const { return std::exp(LogPdf(p)); }
+
+double GaussianMixture2D::Pdf(const Point2& p) const {
+  double total = 0.0;
+  for (const auto& c : components) total += c.weight * c.Pdf(p);
+  return total;
+}
+
+double GaussianMixture2D::LogPdf(const Point2& p) const {
+  const double total = Pdf(p);
+  if (total <= 0.0) return kLogFloor;
+  return std::max(std::log(total), kLogFloor);
+}
+
+Result<GaussianMixture2D> FitGmm2D(const std::vector<Point2>& points,
+                                   const Gmm2DFitOptions& options) {
+  if (points.empty()) return Status::InvalidArgument("FitGmm2D: no points");
+  if (options.num_components < 1) {
+    return Status::InvalidArgument("num_components must be >= 1");
+  }
+
+  // Deterministic farthest-point initial centers.
+  std::vector<Point2> centers;
+  centers.push_back(points.front());
+  while (centers.size() < static_cast<size_t>(options.num_components)) {
+    double best_d = -1.0;
+    Point2 best = points.front();
+    for (const Point2& p : points) {
+      double dmin = std::numeric_limits<double>::infinity();
+      for (const Point2& c : centers) {
+        const double d = (p.x - c.x) * (p.x - c.x) + (p.y - c.y) * (p.y - c.y);
+        dmin = std::min(dmin, d);
+      }
+      if (dmin > best_d) {
+        best_d = dmin;
+        best = p;
+      }
+    }
+    if (best_d <= 0.0) break;  // fewer distinct points than K
+    centers.push_back(best);
+  }
+  const int keff = static_cast<int>(centers.size());
+
+  GaussianMixture2D gmm;
+  gmm.components.resize(static_cast<size_t>(keff));
+  for (int c = 0; c < keff; ++c) {
+    auto& comp = gmm.components[static_cast<size_t>(c)];
+    comp.weight = 1.0 / static_cast<double>(keff);
+    comp.mean = centers[static_cast<size_t>(c)];
+    comp.cov_xx = comp.cov_yy = std::max(options.covariance_floor, 1.0);
+    comp.cov_xy = 0.0;
+  }
+
+  const size_t n = points.size();
+  std::vector<double> resp(n * static_cast<size_t>(keff));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (gmm.iterations = 0; gmm.iterations < options.max_iterations;
+       ++gmm.iterations) {
+    // E-step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (int c = 0; c < keff; ++c) {
+        const auto& comp = gmm.components[static_cast<size_t>(c)];
+        const double p = comp.weight * comp.Pdf(points[i]);
+        resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] = p;
+        total += p;
+      }
+      if (total <= 0.0) {
+        for (int c = 0; c < keff; ++c) {
+          resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] =
+              1.0 / static_cast<double>(keff);
+        }
+        ll += kLogFloor;
+      } else {
+        for (int c = 0; c < keff; ++c) {
+          resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)] /= total;
+        }
+        ll += std::log(total);
+      }
+    }
+    gmm.log_likelihood = ll;
+
+    // M-step.
+    for (int c = 0; c < keff; ++c) {
+      double nk = 0.0, mx = 0.0, my = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r =
+            resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)];
+        nk += r;
+        mx += r * points[i].x;
+        my += r * points[i].y;
+      }
+      auto& comp = gmm.components[static_cast<size_t>(c)];
+      if (nk < 1e-10) {
+        comp.weight = 1e-10;
+        continue;
+      }
+      mx /= nk;
+      my /= nk;
+      double sxx = 0.0, sxy = 0.0, syy = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r =
+            resp[i * static_cast<size_t>(keff) + static_cast<size_t>(c)];
+        const double dx = points[i].x - mx;
+        const double dy = points[i].y - my;
+        sxx += r * dx * dx;
+        sxy += r * dx * dy;
+        syy += r * dy * dy;
+      }
+      comp.weight = nk / static_cast<double>(n);
+      comp.mean = {mx, my};
+      comp.cov_xx = sxx / nk;
+      comp.cov_xy = sxy / nk;
+      comp.cov_yy = syy / nk;
+      FloorCovariance(options.covariance_floor, &comp.cov_xx, &comp.cov_xy,
+                      &comp.cov_yy);
+    }
+    double wsum = 0.0;
+    for (const auto& c : gmm.components) wsum += c.weight;
+    for (auto& c : gmm.components) c.weight /= wsum;
+
+    if (std::abs(ll - prev_ll) / static_cast<double>(n) < options.tolerance) {
+      gmm.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return gmm;
+}
+
+}  // namespace slim

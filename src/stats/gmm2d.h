@@ -1,0 +1,67 @@
+// 2-D Gaussian Mixture Model with full covariances, fitted with EM.
+//
+// Used by the GM baseline (Wang et al., NDSS'18), which models each
+// entity's spatial footprint as a mixture of 2-D Gaussians over (projected)
+// record locations and scores candidate pairs by cross log-likelihood.
+#ifndef SLIM_STATS_GMM2D_H_
+#define SLIM_STATS_GMM2D_H_
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slim {
+
+/// A 2-D point (the GM baseline uses local-meter projections).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One 2-D Gaussian component with full covariance [[xx, xy], [xy, yy]].
+struct Gaussian2D {
+  double weight = 0.0;
+  Point2 mean;
+  double cov_xx = 1.0;
+  double cov_xy = 0.0;
+  double cov_yy = 1.0;
+
+  /// Component density at p (without the mixing weight).
+  double Pdf(const Point2& p) const;
+  /// Log density at p (without the mixing weight).
+  double LogPdf(const Point2& p) const;
+};
+
+/// A fitted 2-D mixture.
+struct GaussianMixture2D {
+  std::vector<Gaussian2D> components;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  double Pdf(const Point2& p) const;
+  /// log of the mixture density, floored to keep scores finite far from all
+  /// components.
+  double LogPdf(const Point2& p) const;
+};
+
+/// Options for FitGmm2D.
+struct Gmm2DFitOptions {
+  int num_components = 3;
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+  /// Minimum eigenvalue of any covariance, in squared input units
+  /// (meters^2 for the GM baseline: 50 m floor by default).
+  double covariance_floor = 2500.0;
+};
+
+/// Fits a K-component 2-D mixture with EM (k-means++-style deterministic
+/// farthest-point init). K is clamped to the number of distinct points.
+/// Fails when points is empty.
+Result<GaussianMixture2D> FitGmm2D(const std::vector<Point2>& points,
+                                   const Gmm2DFitOptions& options = {});
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_GMM2D_H_

@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace slim {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi) {
+  SLIM_CHECK_MSG(hi > lo, "Histogram requires hi > lo");
+  SLIM_CHECK_MSG(num_bins >= 1, "Histogram requires >= 1 bin");
+  width_ = (hi - lo) / num_bins;
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+Histogram Histogram::FromValues(const std::vector<double>& values,
+                                int num_bins) {
+  SLIM_CHECK_MSG(!values.empty(), "Histogram::FromValues requires values");
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  const double span = (*mx > *mn) ? (*mx - *mn) : 1.0;
+  Histogram h(*mn, *mn + span, num_bins);
+  for (double v : values) h.Add(v);
+  return h;
+}
+
+void Histogram::Add(double value) {
+  long bin = static_cast<long>((value - lo_) / width_);
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+uint64_t Histogram::count(int bin) const {
+  SLIM_CHECK(bin >= 0 && static_cast<size_t>(bin) < counts_.size());
+  return counts_[static_cast<size_t>(bin)];
+}
+
+double Histogram::BinCenter(int bin) const {
+  SLIM_CHECK(bin >= 0 && static_cast<size_t>(bin) < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::BinLow(int bin) const {
+  SLIM_CHECK(bin >= 0 && static_cast<size_t>(bin) < counts_.size());
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+std::string Histogram::ToAscii(int max_bar_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(counts_[b]) /
+                                     static_cast<double>(peak) *
+                                     max_bar_width);
+    out += StrFormat("%12.2f | %-*s %llu\n", BinLow(static_cast<int>(b)),
+                     max_bar_width, std::string(static_cast<size_t>(bar), '#').c_str(),
+                     static_cast<unsigned long long>(counts_[b]));
+  }
+  return out;
+}
+
+}  // namespace slim

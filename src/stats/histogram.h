@@ -1,0 +1,49 @@
+// Fixed-bin histogram used for Fig. 2 / Fig. 6 style score-distribution
+// output and by the threshold detectors.
+#ifndef SLIM_STATS_HISTOGRAM_H_
+#define SLIM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slim {
+
+/// Equal-width histogram over a [lo, hi] range.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal bins over [lo, hi]. Requires hi > lo,
+  /// num_bins >= 1.
+  Histogram(double lo, double hi, int num_bins);
+
+  /// Builds a histogram spanning the min..max of `values`.
+  static Histogram FromValues(const std::vector<double>& values,
+                              int num_bins);
+
+  /// Adds one observation; values outside [lo, hi] clamp to the edge bins.
+  void Add(double value);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  uint64_t count(int bin) const;
+  uint64_t total() const { return total_; }
+  /// Center value of a bin.
+  double BinCenter(int bin) const;
+  /// Inclusive lower edge of a bin.
+  double BinLow(int bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin, # bars), for bench output.
+  std::string ToAscii(int max_bar_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_HISTOGRAM_H_

@@ -1,0 +1,95 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace slim {
+
+KMeans1DResult KMeans1D(const std::vector<double>& values, int k,
+                        int max_iterations) {
+  SLIM_CHECK_MSG(!values.empty(), "KMeans1D requires values");
+  SLIM_CHECK_MSG(k >= 1, "KMeans1D requires k >= 1");
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  k = std::min<int>(k, static_cast<int>(sorted.size()));
+
+  KMeans1DResult res;
+  // Quantile init over distinct values: deterministic and spread out.
+  res.centers.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const double q = (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    res.centers[static_cast<size_t>(c)] =
+        sorted[static_cast<size_t>(q * static_cast<double>(sorted.size() - 1))];
+  }
+
+  res.assignment.assign(values.size(), 0);
+  for (res.iterations = 0; res.iterations < max_iterations; ++res.iterations) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < values.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = std::abs(values[i] - res.centers[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<double> sum(static_cast<size_t>(k), 0.0);
+    std::vector<size_t> count(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum[static_cast<size_t>(res.assignment[i])] += values[i];
+      ++count[static_cast<size_t>(res.assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (count[static_cast<size_t>(c)] > 0) {
+        res.centers[static_cast<size_t>(c)] =
+            sum[static_cast<size_t>(c)] /
+            static_cast<double>(count[static_cast<size_t>(c)]);
+      }
+    }
+    if (!changed) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Sort centers ascending and remap assignments.
+  std::vector<size_t> order(static_cast<size_t>(k));
+  for (size_t c = 0; c < order.size(); ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return res.centers[a] < res.centers[b];
+  });
+  std::vector<int> remap(static_cast<size_t>(k));
+  std::vector<double> centers_sorted(static_cast<size_t>(k));
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<int>(rank);
+    centers_sorted[rank] = res.centers[order[rank]];
+  }
+  res.centers = std::move(centers_sorted);
+  for (auto& a : res.assignment) a = remap[static_cast<size_t>(a)];
+  res.cluster_size.assign(static_cast<size_t>(k), 0);
+  for (int a : res.assignment) ++res.cluster_size[static_cast<size_t>(a)];
+  return res;
+}
+
+double TwoMeansThreshold(const std::vector<double>& values) {
+  const KMeans1DResult r = KMeans1D(values, 2);
+  SLIM_CHECK_MSG(r.centers.size() == 2,
+                 "TwoMeansThreshold requires >= 2 distinct values");
+  return 0.5 * (r.centers[0] + r.centers[1]);
+}
+
+}  // namespace slim

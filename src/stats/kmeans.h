@@ -1,0 +1,32 @@
+// 1-D k-means, used to initialise the EM fit of the Gaussian mixture and as
+// the "2-means" stop-threshold alternative the paper mentions (Sec. 5.2.1).
+#ifndef SLIM_STATS_KMEANS_H_
+#define SLIM_STATS_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace slim {
+
+/// Result of a 1-D k-means clustering.
+struct KMeans1DResult {
+  std::vector<double> centers;      // sorted ascending
+  std::vector<int> assignment;      // per input value, index into centers
+  std::vector<size_t> cluster_size; // per center
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Lloyd's algorithm on scalars with deterministic quantile initialisation.
+/// Requires k >= 1 and values non-empty; k is clamped to the number of
+/// distinct values.
+KMeans1DResult KMeans1D(const std::vector<double>& values, int k,
+                        int max_iterations = 100);
+
+/// The midpoint between the two cluster centers of a 2-means split —
+/// a simple binarisation threshold. Requires at least 2 distinct values.
+double TwoMeansThreshold(const std::vector<double>& values);
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_KMEANS_H_

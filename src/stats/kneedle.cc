@@ -1,0 +1,64 @@
+#include "stats/kneedle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace slim {
+
+std::optional<size_t> FindKneedle(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  const KneedleOptions& options) {
+  SLIM_CHECK_MSG(x.size() == y.size(), "Kneedle: x/y size mismatch");
+  if (x.size() < 3) return std::nullopt;
+  for (size_t i = 1; i < x.size(); ++i) {
+    SLIM_CHECK_MSG(x[i] > x[i - 1], "Kneedle: x must be strictly increasing");
+  }
+
+  const size_t n = x.size();
+  // 1. Normalise both axes to [0, 1].
+  const double x_lo = x.front(), x_hi = x.back();
+  const auto [y_mn, y_mx] = std::minmax_element(y.begin(), y.end());
+  if (*y_mx == *y_mn) return std::nullopt;  // flat line: no knee
+  std::vector<double> xn(n), yn(n);
+  for (size_t i = 0; i < n; ++i) {
+    xn[i] = (x[i] - x_lo) / (x_hi - x_lo);
+    yn[i] = (y[i] - *y_mn) / (*y_mx - *y_mn);
+  }
+
+  // 2. Transform to the concave-increasing canonical form.
+  if (options.curve == KneedleCurve::kConvexDecreasing) {
+    for (size_t i = 0; i < n; ++i) yn[i] = 1.0 - yn[i];
+  }
+
+  // 3. Difference curve.
+  std::vector<double> diff(n);
+  for (size_t i = 0; i < n; ++i) diff[i] = yn[i] - xn[i];
+
+  // 4. Local maxima of the difference curve, with the sensitivity cutoff.
+  double step_sum = 0.0;
+  for (size_t i = 1; i < n; ++i) step_sum += xn[i] - xn[i - 1];
+  const double avg_step = step_sum / static_cast<double>(n - 1);
+
+  std::optional<size_t> best;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    if (diff[i] >= diff[i - 1] && diff[i] >= diff[i + 1]) {
+      const double threshold = diff[i] - options.sensitivity * avg_step;
+      // Accept the candidate if the difference curve drops below the
+      // threshold before the next local maximum (original stopping rule).
+      for (size_t j = i + 1; j < n; ++j) {
+        if (diff[j] > diff[i]) break;  // a higher maximum supersedes
+        if (diff[j] < threshold) {
+          best = i;
+          break;
+        }
+      }
+      if (!best && i + 2 == n && diff[i] > 0.0) best = i;  // knee at the end
+      if (best) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace slim

@@ -1,0 +1,36 @@
+// Kneedle knee/elbow detection (Satopaa et al., ICDCS-W 2011), cited by the
+// paper [36] for two auto-tuning decisions: the spatial-level selection
+// (Sec. 3.3, "best trade-off point detection algorithm (aka. elbow point
+// detection) as implemented in [36]") and ST-Link's k/l selection.
+#ifndef SLIM_STATS_KNEEDLE_H_
+#define SLIM_STATS_KNEEDLE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace slim {
+
+/// Curve shape expected by the detector.
+enum class KneedleCurve {
+  kConcaveIncreasing,  // knee of y rising with diminishing returns
+  kConvexDecreasing,   // elbow of y falling with diminishing returns
+};
+
+/// Options for the detector.
+struct KneedleOptions {
+  KneedleCurve curve = KneedleCurve::kConvexDecreasing;
+  /// Sensitivity S of the original algorithm: larger is more conservative.
+  double sensitivity = 1.0;
+};
+
+/// Returns the index (into x/y) of the detected knee/elbow, or nullopt when
+/// the curve has no knee (e.g. a straight line). x must be strictly
+/// increasing; x and y must have equal size >= 3.
+std::optional<size_t> FindKneedle(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  const KneedleOptions& options = {});
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_KNEEDLE_H_

@@ -1,0 +1,51 @@
+#include "stats/lambert_w.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace slim {
+
+double LambertW0(double x) {
+  constexpr double kMinArg = -0.36787944117144233;  // -1/e
+  SLIM_CHECK_MSG(x >= kMinArg - 1e-12, "LambertW0 defined for x >= -1/e");
+  if (x < kMinArg) x = kMinArg;
+  if (x == 0.0) return 0.0;
+
+  // Initial guess: series near 0, log-based for large x, sqrt expansion
+  // near the branch point.
+  double w;
+  if (x < -0.3) {
+    // Clamp against tiny negative rounding at the branch point itself.
+    const double arg = std::max(0.0, 2.0 * (std::exp(1.0) * x + 1.0));
+    const double p = std::sqrt(arg);
+    w = -1.0 + p - p * p / 3.0;
+  } else if (x < 1.0) {
+    w = x * (1.0 - x + 1.5 * x * x);
+  } else if (x < 10.0) {
+    // log(1 + x) is within ~20% of W on [1, 10); Halley does the rest.
+    w = std::log(1.0 + x);
+  } else {
+    const double lx = std::log(x);
+    const double llx = std::log(lx);
+    w = lx - llx + llx / lx;
+  }
+
+  for (int it = 0; it < 64; ++it) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) break;
+    // Halley step; at the branch point (w = -1) the correction term's
+    // denominator vanishes, so fall back to plain Newton there.
+    double denom = ew * (w + 1.0);
+    const double halley_denom = 2.0 * w + 2.0;
+    if (halley_denom != 0.0) denom -= (w + 2.0) * f / halley_denom;
+    if (denom == 0.0 || !std::isfinite(denom)) break;
+    const double dw = f / denom;
+    w -= dw;
+    if (std::abs(dw) < 1e-14 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+}  // namespace slim

@@ -1,0 +1,17 @@
+// Principal branch of the Lambert W function, W0(x): the inverse of
+// f(w) = w * e^w on [-1/e, inf).
+//
+// The paper (Sec. 4) sizes the LSH banding as b = e^{W(-s * ln t)} where s
+// is the signature length and t the similarity threshold.
+#ifndef SLIM_STATS_LAMBERT_W_H_
+#define SLIM_STATS_LAMBERT_W_H_
+
+namespace slim {
+
+/// W0(x) for x >= -1/e. Halley iteration, accurate to ~1e-12.
+/// Requires x >= -1/e (checked).
+double LambertW0(double x);
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_LAMBERT_W_H_

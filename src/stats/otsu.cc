@@ -1,0 +1,63 @@
+#include "stats/otsu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace slim {
+
+double OtsuThreshold(const std::vector<double>& values, int num_bins) {
+  SLIM_CHECK_MSG(values.size() >= 2, "OtsuThreshold requires >= 2 values");
+  SLIM_CHECK_MSG(num_bins >= 2, "OtsuThreshold requires >= 2 bins");
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it, mx = *mx_it;
+  SLIM_CHECK_MSG(mx > mn, "OtsuThreshold requires distinct values");
+
+  const size_t bins = static_cast<size_t>(num_bins);
+  std::vector<double> hist(bins, 0.0);
+  const double scale = static_cast<double>(bins) / (mx - mn);
+  for (double v : values) {
+    size_t b = static_cast<size_t>((v - mn) * scale);
+    if (b >= bins) b = bins - 1;
+    hist[b] += 1.0;
+  }
+  const double total = static_cast<double>(values.size());
+  for (double& h : hist) h /= total;
+
+  double mu_total = 0.0;
+  for (size_t b = 0; b < bins; ++b)
+    mu_total += (static_cast<double>(b) + 0.5) * hist[b];
+
+  // On perfectly separated data the between-class variance is flat across
+  // the whole empty gap; average all maximising bins so the threshold lands
+  // mid-gap (standard Otsu practice) instead of at the gap's low edge.
+  double best_sigma = -1.0;
+  double best_bin_sum = 0.0;
+  size_t best_bin_count = 0;
+  double w0 = 0.0, mu0_acc = 0.0;
+  for (size_t b = 0; b + 1 < bins; ++b) {
+    w0 += hist[b];
+    mu0_acc += (static_cast<double>(b) + 0.5) * hist[b];
+    const double w1 = 1.0 - w0;
+    if (w0 <= 0.0 || w1 <= 0.0) continue;
+    const double mu0 = mu0_acc / w0;
+    const double mu1 = (mu_total - mu0_acc) / w1;
+    const double sigma_b = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (sigma_b > best_sigma + 1e-12) {
+      best_sigma = sigma_b;
+      best_bin_sum = static_cast<double>(b);
+      best_bin_count = 1;
+    } else if (sigma_b >= best_sigma - 1e-12) {
+      best_bin_sum += static_cast<double>(b);
+      ++best_bin_count;
+    }
+  }
+  const double best_bin =
+      best_bin_count > 0 ? best_bin_sum / static_cast<double>(best_bin_count)
+                         : 0.0;
+  // Threshold at the upper edge of the (averaged) best split bin.
+  return mn + (best_bin + 1.0) / scale;
+}
+
+}  // namespace slim

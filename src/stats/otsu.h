@@ -1,0 +1,19 @@
+// Otsu's method (1979): histogram-based binarisation threshold maximising
+// between-class variance. The paper reports it gives results similar to the
+// GMM-based stop-threshold detection (Sec. 5.2.1); provided as an
+// alternative ThresholdDetector backend.
+#ifndef SLIM_STATS_OTSU_H_
+#define SLIM_STATS_OTSU_H_
+
+#include <vector>
+
+namespace slim {
+
+/// Computes Otsu's threshold over `values` using a `num_bins`-bin histogram
+/// spanning [min, max]. Returns the bin-boundary value that maximises the
+/// between-class variance. Requires at least 2 distinct values.
+double OtsuThreshold(const std::vector<double>& values, int num_bins = 256);
+
+}  // namespace slim
+
+#endif  // SLIM_STATS_OTSU_H_

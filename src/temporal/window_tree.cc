@@ -1,0 +1,166 @@
+#include "temporal/window_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace slim {
+namespace {
+
+// Merges b into a (both sorted by cell id), summing counts.
+void MergeCounts(WindowSegmentTree::CellCounts* a,
+                 const WindowSegmentTree::CellCounts& b) {
+  WindowSegmentTree::CellCounts out;
+  out.reserve(a->size() + b.size());
+  size_t ia = 0, ib = 0;
+  while (ia < a->size() && ib < b.size()) {
+    if ((*a)[ia].first < b[ib].first) {
+      out.push_back((*a)[ia++]);
+    } else if (b[ib].first < (*a)[ia].first) {
+      out.push_back(b[ib++]);
+    } else {
+      out.emplace_back((*a)[ia].first, (*a)[ia].second + b[ib].second);
+      ++ia;
+      ++ib;
+    }
+  }
+  while (ia < a->size()) out.push_back((*a)[ia++]);
+  while (ib < b.size()) out.push_back(b[ib++]);
+  *a = std::move(out);
+}
+
+}  // namespace
+
+WindowSegmentTree WindowSegmentTree::Build(
+    std::vector<WindowedCellCount> entries) {
+  WindowSegmentTree tree;
+  if (entries.empty()) return tree;
+
+  int leaf_level = -1;
+  // window -> (cell -> count), ordered so leaves come out sorted.
+  std::map<int64_t, std::map<CellId, uint32_t>> grouped;
+  for (const auto& e : entries) {
+    SLIM_CHECK_MSG(e.cell.IsValid(), "WindowSegmentTree: invalid cell");
+    SLIM_CHECK_MSG(e.count > 0, "WindowSegmentTree: zero count");
+    if (leaf_level < 0) {
+      leaf_level = e.cell.level();
+    } else {
+      SLIM_CHECK_MSG(e.cell.level() == leaf_level,
+                     "WindowSegmentTree: mixed leaf cell levels");
+    }
+    grouped[e.window][e.cell] += e.count;
+  }
+
+  std::vector<std::pair<int64_t, CellCounts>> leaves;
+  leaves.reserve(grouped.size());
+  for (auto& [w, cells] : grouped) {
+    CellCounts cc(cells.begin(), cells.end());
+    leaves.emplace_back(w, std::move(cc));
+  }
+
+  tree.leaf_level_ = leaf_level;
+  tree.num_leaves_ = leaves.size();
+  tree.nodes_.reserve(2 * leaves.size());
+  tree.root_ = tree.BuildRange(leaves, 0, leaves.size() - 1);
+  return tree;
+}
+
+int WindowSegmentTree::BuildRange(
+    const std::vector<std::pair<int64_t, CellCounts>>& leaves, size_t lo,
+    size_t hi) {
+  if (lo == hi) {
+    Node leaf;
+    leaf.window_lo = leaf.window_hi = leaves[lo].first;
+    leaf.counts = leaves[lo].second;
+    for (const auto& [cell, count] : leaf.counts) leaf.records += count;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  const int left = BuildRange(leaves, lo, mid);
+  const int right = BuildRange(leaves, mid + 1, hi);
+  Node inner;
+  inner.window_lo = nodes_[static_cast<size_t>(left)].window_lo;
+  inner.window_hi = nodes_[static_cast<size_t>(right)].window_hi;
+  inner.left = left;
+  inner.right = right;
+  inner.counts = nodes_[static_cast<size_t>(left)].counts;
+  MergeCounts(&inner.counts, nodes_[static_cast<size_t>(right)].counts);
+  inner.records = nodes_[static_cast<size_t>(left)].records +
+                  nodes_[static_cast<size_t>(right)].records;
+  nodes_.push_back(std::move(inner));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int64_t WindowSegmentTree::min_window() const {
+  SLIM_CHECK(!empty());
+  return nodes_[static_cast<size_t>(root_)].window_lo;
+}
+
+int64_t WindowSegmentTree::max_window() const {
+  SLIM_CHECK(!empty());
+  return nodes_[static_cast<size_t>(root_)].window_hi;
+}
+
+uint64_t WindowSegmentTree::total_records() const {
+  return empty() ? 0 : nodes_[static_cast<size_t>(root_)].records;
+}
+
+void WindowSegmentTree::Collect(int node, int64_t w_begin, int64_t w_end,
+                                std::vector<int>* out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.window_hi < w_begin || n.window_lo >= w_end) return;  // disjoint
+  if (n.window_lo >= w_begin && n.window_hi < w_end) {        // contained
+    out->push_back(node);
+    return;
+  }
+  Collect(n.left, w_begin, w_end, out);
+  Collect(n.right, w_begin, w_end, out);
+}
+
+WindowSegmentTree::CellCounts WindowSegmentTree::RangeCellCounts(
+    int64_t w_begin, int64_t w_end, int spatial_level) const {
+  CellCounts result;
+  if (empty() || w_begin >= w_end) return result;
+  SLIM_CHECK_MSG(spatial_level >= 0 && spatial_level <= leaf_level_,
+                 "query spatial level must be <= leaf level");
+  std::vector<int> canonical;
+  Collect(root_, w_begin, w_end, &canonical);
+  if (canonical.empty()) return result;
+
+  std::unordered_map<CellId, uint32_t> agg;
+  for (int node : canonical) {
+    for (const auto& [cell, count] : nodes_[static_cast<size_t>(node)].counts) {
+      agg[cell.Parent(spatial_level)] += count;
+    }
+  }
+  result.assign(agg.begin(), agg.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::optional<CellId> WindowSegmentTree::DominatingCell(
+    int64_t w_begin, int64_t w_end, int spatial_level) const {
+  const CellCounts counts = RangeCellCounts(w_begin, w_end, spatial_level);
+  if (counts.empty()) return std::nullopt;
+  // Max count; ties -> smaller cell id (counts are sorted by cell).
+  const auto best = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
+}
+
+uint64_t WindowSegmentTree::RangeRecordCount(int64_t w_begin,
+                                             int64_t w_end) const {
+  if (empty() || w_begin >= w_end) return 0;
+  std::vector<int> canonical;
+  Collect(root_, w_begin, w_end, &canonical);
+  uint64_t total = 0;
+  for (int node : canonical) total += nodes_[static_cast<size_t>(node)].records;
+  return total;
+}
+
+}  // namespace slim

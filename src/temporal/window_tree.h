@@ -1,0 +1,106 @@
+// Hierarchical temporal aggregation over a mobility history (paper Fig. 1).
+//
+// Leaves are the occupied time windows of one entity, each holding the
+// spatial cells seen in that window with per-cell record counts. Every
+// internal node aggregates the cell -> count mapping of its subtree, exactly
+// as the paper's mobility-history tree: "each non-leaf node keeps the
+// occurrence counts of the cell ids in its sub-tree".
+//
+// The tree exists to answer the LSH layer's *dominating-cell* queries
+// (Sec. 4): "the grid cell containing most records of the owner entity in a
+// given time range", optionally aggregated at a coarser spatial level than
+// the leaf cells. A query for range [w_begin, w_end) visits O(log n)
+// canonical nodes and merges their (already aggregated) count maps, instead
+// of rescanning the records.
+#ifndef SLIM_TEMPORAL_WINDOW_TREE_H_
+#define SLIM_TEMPORAL_WINDOW_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geo/cell_id.h"
+
+namespace slim {
+
+/// One leaf observation: `count` records of the entity fell into spatial
+/// cell `cell` during time window `window`.
+struct WindowedCellCount {
+  int64_t window = 0;
+  CellId cell;
+  uint32_t count = 0;
+};
+
+/// Segment tree over the occupied windows of one entity.
+class WindowSegmentTree {
+ public:
+  /// An aggregated (cell, record count) entry, sorted by cell id.
+  using CellCounts = std::vector<std::pair<CellId, uint32_t>>;
+
+  WindowSegmentTree() = default;
+
+  /// Builds the tree from leaf observations. Entries may arrive unsorted and
+  /// may repeat a (window, cell) pair; counts are summed. Invalid cells and
+  /// zero counts are rejected.
+  static WindowSegmentTree Build(std::vector<WindowedCellCount> entries);
+
+  bool empty() const { return nodes_.empty(); }
+
+  /// Number of occupied leaf windows.
+  size_t num_windows() const { return num_leaves_; }
+
+  /// Smallest / largest occupied window index. Requires !empty().
+  int64_t min_window() const;
+  int64_t max_window() const;
+
+  /// Total records across the whole history.
+  uint64_t total_records() const;
+
+  /// The cell with the highest record count in [w_begin, w_end), with cells
+  /// first mapped to their ancestor at `spatial_level` (which must not
+  /// exceed the leaf cells' level). Ties break toward the smaller cell id so
+  /// results are deterministic. Returns nullopt if the range holds no
+  /// records.
+  std::optional<CellId> DominatingCell(int64_t w_begin, int64_t w_end,
+                                       int spatial_level) const;
+
+  /// Aggregated per-cell record counts in [w_begin, w_end) at
+  /// `spatial_level`; sorted by cell id. Empty if the range holds no records.
+  CellCounts RangeCellCounts(int64_t w_begin, int64_t w_end,
+                             int spatial_level) const;
+
+  /// Total records with timestamps in [w_begin, w_end).
+  uint64_t RangeRecordCount(int64_t w_begin, int64_t w_end) const;
+
+  /// The spatial level of the leaf cells (all leaves share one level).
+  /// Requires !empty().
+  int leaf_spatial_level() const { return leaf_level_; }
+
+ private:
+  struct Node {
+    int64_t window_lo = 0;  // inclusive, in window-index space
+    int64_t window_hi = 0;  // inclusive
+    int left = -1;          // child node indices; -1 for leaves
+    int right = -1;
+    CellCounts counts;      // aggregated cell -> record count
+    uint64_t records = 0;   // sum of counts
+  };
+
+  // Recursively builds over leaves_[lo..hi] (indices into the sorted,
+  // deduplicated leaf array). Returns node index.
+  int BuildRange(const std::vector<std::pair<int64_t, CellCounts>>& leaves,
+                 size_t lo, size_t hi);
+
+  void Collect(int node, int64_t w_begin, int64_t w_end,
+               std::vector<int>* out) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t num_leaves_ = 0;
+  int leaf_level_ = -1;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_TEMPORAL_WINDOW_TREE_H_

@@ -1,0 +1,198 @@
+#include "geo/cell_id.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(CellId, DefaultIsInvalid) {
+  CellId c;
+  EXPECT_FALSE(c.IsValid());
+  EXPECT_EQ(c.raw(), 0u);
+}
+
+TEST(CellId, Level0IsOneCellCoveringEverything) {
+  const CellId a = CellId::FromLatLng({89.0, 179.0}, 0);
+  const CellId b = CellId::FromLatLng({-89.0, -179.0}, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.level(), 0);
+}
+
+TEST(CellId, FromLatLngRoundTripsThroughCenter) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const LatLng p{rng.NextDouble(-89.9, 89.9), rng.NextDouble(-180, 179.9)};
+    const int level = static_cast<int>(rng.NextInt64(1, CellId::kMaxLevel));
+    const CellId c = CellId::FromLatLng(p, level);
+    ASSERT_TRUE(c.IsValid());
+    // The center of the containing cell maps back to the same cell.
+    EXPECT_EQ(CellId::FromLatLng(c.CenterLatLng(), level), c);
+  }
+}
+
+TEST(CellId, BoundsContainTheOriginalPoint) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const LatLng p{rng.NextDouble(-89.9, 89.9), rng.NextDouble(-180, 179.9)};
+    const int level = static_cast<int>(rng.NextInt64(0, 20));
+    const LatLngRect r = CellId::FromLatLng(p, level).Bounds();
+    EXPECT_LE(r.lat_lo, p.lat_deg);
+    EXPECT_GE(r.lat_hi, p.lat_deg);
+    EXPECT_LE(r.lng_lo, p.lng_deg);
+    EXPECT_GE(r.lng_hi, p.lng_deg);
+  }
+}
+
+TEST(CellId, ParentContainsChild) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const LatLng p{rng.NextDouble(-89.9, 89.9), rng.NextDouble(-180, 179.9)};
+    const CellId leaf = CellId::FromLatLng(p, 20);
+    for (int lvl = 0; lvl <= 20; ++lvl) {
+      const CellId anc = leaf.Parent(lvl);
+      EXPECT_EQ(anc.level(), lvl);
+      EXPECT_TRUE(anc.Contains(leaf));
+      EXPECT_EQ(anc, CellId::FromLatLng(p, lvl));
+    }
+  }
+}
+
+TEST(CellId, ChildrenPartitionParent) {
+  const CellId parent = CellId::FromLatLng({37.7, -122.4}, 10);
+  std::unordered_set<CellId> kids;
+  for (int k = 0; k < 4; ++k) {
+    const CellId child = parent.Child(k);
+    EXPECT_EQ(child.level(), 11);
+    EXPECT_EQ(child.Parent(), parent);
+    EXPECT_TRUE(parent.Contains(child));
+    kids.insert(child);
+  }
+  EXPECT_EQ(kids.size(), 4u);
+}
+
+TEST(CellId, ContainsIsReflexiveAndNotSymmetricAcrossLevels) {
+  const CellId c = CellId::FromLatLng({10, 10}, 8);
+  EXPECT_TRUE(c.Contains(c));
+  const CellId child = c.Child(0);
+  EXPECT_TRUE(c.Contains(child));
+  EXPECT_FALSE(child.Contains(c));
+}
+
+TEST(CellId, TokenRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng p{rng.NextDouble(-89.9, 89.9), rng.NextDouble(-180, 179.9)};
+    const CellId c =
+        CellId::FromLatLng(p, static_cast<int>(rng.NextInt64(0, 28)));
+    EXPECT_EQ(CellId::FromToken(c.ToToken()), c);
+  }
+}
+
+TEST(CellId, FromTokenRejectsGarbage) {
+  EXPECT_FALSE(CellId::FromToken("").IsValid());
+  EXPECT_FALSE(CellId::FromToken("zzzz").IsValid());
+  EXPECT_FALSE(CellId::FromToken("0").IsValid());
+  EXPECT_FALSE(CellId::FromToken("12345678901234567").IsValid());  // 17 chars
+}
+
+TEST(CellId, FromRawValidation) {
+  EXPECT_FALSE(CellId::FromRaw(0).IsValid());
+  const CellId good = CellId::FromIndices(3, 2, 5);
+  EXPECT_TRUE(CellId::FromRaw(good.raw()).IsValid());
+  // Index out of range for the level must be rejected.
+  const uint64_t bogus = (1ULL << 62) | (3ULL << 56) | (9ULL << 28);
+  EXPECT_FALSE(CellId::FromRaw(bogus).IsValid());
+}
+
+TEST(CellDistance, ZeroForSameAndNestedCells) {
+  const CellId c = CellId::FromLatLng({37.7, -122.4}, 12);
+  EXPECT_DOUBLE_EQ(MinDistanceMeters(c, c), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistanceMeters(c, c.Parent(8)), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistanceMeters(c.Parent(8), c), 0.0);
+}
+
+TEST(CellDistance, ZeroForTouchingNeighbors) {
+  const CellId c = CellId::FromIndices(12, 1000, 1000);
+  const CellId east = CellId::FromIndices(12, 1000, 1001);
+  EXPECT_DOUBLE_EQ(MinDistanceMeters(c, east), 0.0);
+}
+
+TEST(CellDistance, SymmetricAndNonNegative) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const CellId a = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-180, 179.9)},
+        static_cast<int>(rng.NextInt64(4, 16)));
+    const CellId b = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-180, 179.9)},
+        static_cast<int>(rng.NextInt64(4, 16)));
+    const double d = MinDistanceMeters(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_DOUBLE_EQ(d, MinDistanceMeters(b, a));
+  }
+}
+
+TEST(CellDistance, MinDistanceNeverExceedsCenterDistance) {
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const CellId a = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-180, 179.9)}, 12);
+    const CellId b = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-180, 179.9)}, 12);
+    EXPECT_LE(MinDistanceMeters(a, b), CenterDistanceMeters(a, b) + 1e-6);
+  }
+}
+
+TEST(CellDistance, MatchesPointDistanceForFarApartSmallCells) {
+  // For tiny cells far apart, min cell distance ~ point distance.
+  const LatLng pa{37.7749, -122.4194};  // SF
+  const LatLng pb{34.0522, -118.2437};  // LA
+  const CellId a = CellId::FromLatLng(pa, 24);
+  const CellId b = CellId::FromLatLng(pb, 24);
+  const double point_d = HaversineMeters(pa, pb);
+  EXPECT_NEAR(MinDistanceMeters(a, b), point_d, point_d * 0.001);
+}
+
+TEST(CellDistance, HandlesAntimeridianWrap) {
+  // Cells on either side of the antimeridian are close, not ~40,000 km
+  // apart.
+  const CellId west = CellId::FromLatLng({0.0, 179.99}, 12);
+  const CellId east = CellId::FromLatLng({0.0, -179.99}, 12);
+  EXPECT_LT(MinDistanceMeters(west, east), 10000.0);
+}
+
+TEST(CellDistance, GrowsWithSeparation) {
+  const CellId base = CellId::FromLatLng({37.7, -122.4}, 14);
+  double prev = -1.0;
+  for (double offset : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const CellId other = CellId::FromLatLng({37.7 + offset, -122.4}, 14);
+    const double d = MinDistanceMeters(base, other);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(CellLatExtent, HalvesPerLevel) {
+  const double l10 = CellLatExtentMeters(10);
+  const double l11 = CellLatExtentMeters(11);
+  EXPECT_NEAR(l10 / l11, 2.0, 1e-9);
+  // Level 12 latitude extent is ~4.9 km on our 2^L x 2^L grid.
+  EXPECT_NEAR(CellLatExtentMeters(12), 4885.0, 10.0);
+}
+
+TEST(CellId, HashSpreadsValues) {
+  std::unordered_set<size_t> hashes;
+  std::hash<CellId> h;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(h(CellId::FromIndices(14, i, i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace slim

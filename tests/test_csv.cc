@@ -1,0 +1,124 @@
+#include "data/csv.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test AND per process: ctest runs each TEST in its own
+    // process, potentially in parallel.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("slim_csv_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, RoundTripPreservesRecords) {
+  LocationDataset ds("rt");
+  ds.Add(1, {37.774900, -122.419400}, 1000);
+  ds.Add(2, {-33.856800, 151.215300}, 2000);
+  ds.Add(1, {37.775000, -122.419000}, 1500);
+  ds.Finalize();
+
+  const std::string path = Path("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+
+  auto loaded = ReadCsv(path, "rt2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), 3u);
+  EXPECT_EQ(loaded->num_entities(), 2u);
+  const auto span = loaded->RecordsOf(1);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].timestamp, 1000);
+  EXPECT_NEAR(span[0].location.lat_deg, 37.7749, 1e-6);
+  EXPECT_NEAR(span[0].location.lng_deg, -122.4194, 1e-6);
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsv(Path("nope.csv"), "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, MalformedRowReportsLineNumber) {
+  const std::string path = Path("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "entity_id,lat,lng,timestamp\n";
+    out << "1,37.0,-122.0,100\n";
+    out << "2,not_a_number,-122.0,100\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(":3"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(CsvTest, WrongFieldCountFails) {
+  const std::string path = Path("fields.csv");
+  {
+    std::ofstream out(path);
+    out << "1,37.0,-122.0\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, HeaderIsOptional) {
+  const std::string path = Path("noheader.csv");
+  {
+    std::ofstream out(path);
+    out << "5,10.5,20.5,42\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 1u);
+  EXPECT_EQ(r->records()[0].entity, 5);
+}
+
+TEST_F(CsvTest, BlankLinesAreSkipped) {
+  const std::string path = Path("blank.csv");
+  {
+    std::ofstream out(path);
+    out << "entity_id,lat,lng,timestamp\n\n";
+    out << "1,1.0,1.0,1\n\n";
+    out << "2,2.0,2.0,2\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 2u);
+}
+
+TEST_F(CsvTest, EmptyFileYieldsEmptyDataset) {
+  const std::string path = Path("empty.csv");
+  { std::ofstream out(path); }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_records(), 0u);
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathFails) {
+  LocationDataset ds("w");
+  ds.Finalize();
+  EXPECT_FALSE(WriteCsv(ds, "/nonexistent_dir_xyz/out.csv").ok());
+}
+
+}  // namespace
+}  // namespace slim

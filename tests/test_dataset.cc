@@ -1,0 +1,111 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+LocationDataset SmallDataset() {
+  LocationDataset ds("t");
+  ds.Add(2, {37.1, -122.1}, 300);
+  ds.Add(1, {37.2, -122.2}, 100);
+  ds.Add(2, {37.3, -122.3}, 100);
+  ds.Add(1, {37.4, -122.4}, 200);
+  ds.Add(3, {37.5, -122.5}, 50);
+  ds.Finalize();
+  return ds;
+}
+
+TEST(LocationDataset, FinalizeSortsByEntityThenTime) {
+  const LocationDataset ds = SmallDataset();
+  const auto& r = ds.records();
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0].entity, 1);
+  EXPECT_EQ(r[0].timestamp, 100);
+  EXPECT_EQ(r[1].entity, 1);
+  EXPECT_EQ(r[1].timestamp, 200);
+  EXPECT_EQ(r[2].entity, 2);
+  EXPECT_EQ(r[2].timestamp, 100);
+  EXPECT_EQ(r[4].entity, 3);
+}
+
+TEST(LocationDataset, EntityIdsSortedAndCounted) {
+  const LocationDataset ds = SmallDataset();
+  EXPECT_EQ(ds.num_entities(), 3u);
+  EXPECT_EQ(ds.entity_ids(), (std::vector<EntityId>{1, 2, 3}));
+}
+
+TEST(LocationDataset, RecordsOfReturnsContiguousSpan) {
+  const LocationDataset ds = SmallDataset();
+  const auto span = ds.RecordsOf(2);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].timestamp, 100);
+  EXPECT_EQ(span[1].timestamp, 300);
+  EXPECT_TRUE(ds.RecordsOf(99).empty());
+}
+
+TEST(LocationDataset, ContainsEntity) {
+  const LocationDataset ds = SmallDataset();
+  EXPECT_TRUE(ds.ContainsEntity(1));
+  EXPECT_FALSE(ds.ContainsEntity(42));
+}
+
+TEST(LocationDataset, TimeRange) {
+  const LocationDataset ds = SmallDataset();
+  const auto [lo, hi] = ds.TimeRange();
+  EXPECT_EQ(lo, 50);
+  EXPECT_EQ(hi, 300);
+}
+
+TEST(LocationDataset, AvgRecordsPerEntity) {
+  const LocationDataset ds = SmallDataset();
+  EXPECT_NEAR(ds.AvgRecordsPerEntity(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(LocationDataset, FilterMinRecordsDropsSparseEntities) {
+  LocationDataset ds = SmallDataset();
+  const size_t removed = ds.FilterMinRecords(2);
+  EXPECT_EQ(removed, 1u);  // entity 3 had one record
+  EXPECT_EQ(ds.num_entities(), 2u);
+  EXPECT_FALSE(ds.ContainsEntity(3));
+  EXPECT_EQ(ds.num_records(), 4u);
+}
+
+TEST(LocationDataset, FilterMinRecordsKeepsEverythingAtOne) {
+  LocationDataset ds = SmallDataset();
+  EXPECT_EQ(ds.FilterMinRecords(1), 0u);
+  EXPECT_EQ(ds.num_entities(), 3u);
+}
+
+TEST(LocationDataset, FromRecordsFinalizes) {
+  std::vector<Record> recs = {{7, {1.0, 2.0}, 10}, {7, {1.0, 2.0}, 5}};
+  const LocationDataset ds = LocationDataset::FromRecords("x", recs);
+  EXPECT_TRUE(ds.finalized());
+  EXPECT_EQ(ds.records()[0].timestamp, 5);
+  EXPECT_EQ(ds.name(), "x");
+}
+
+TEST(LocationDataset, EmptyDatasetBehaves) {
+  LocationDataset ds("empty");
+  ds.Finalize();
+  EXPECT_EQ(ds.num_entities(), 0u);
+  EXPECT_EQ(ds.num_records(), 0u);
+  EXPECT_DOUBLE_EQ(ds.AvgRecordsPerEntity(), 0.0);
+}
+
+TEST(LocationDataset, AddAfterFinalizeRequiresRefinalize) {
+  LocationDataset ds = SmallDataset();
+  ds.Add(9, {37.0, -122.0}, 1);
+  EXPECT_FALSE(ds.finalized());
+  ds.Finalize();
+  EXPECT_EQ(ds.num_entities(), 4u);
+}
+
+TEST(LocationDataset, DeathOnUnfinalizedRead) {
+  LocationDataset ds("u");
+  ds.Add(1, {0, 0}, 0);
+  EXPECT_DEATH((void)ds.records(), "finalized");
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,62 @@
+#include "geo/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(DistanceCache, AgreesWithDirectComputation) {
+  CellDistanceCache cache;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const CellId a = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-170, 170)}, 12);
+    const CellId b = CellId::FromLatLng(
+        {rng.NextDouble(-80, 80), rng.NextDouble(-170, 170)}, 12);
+    EXPECT_DOUBLE_EQ(cache.Get(a, b), MinDistanceMeters(a, b));
+  }
+}
+
+TEST(DistanceCache, HitsOnRepeatAndSwappedArguments) {
+  CellDistanceCache cache;
+  const CellId a = CellId::FromLatLng({37.7, -122.4}, 12);
+  const CellId b = CellId::FromLatLng({38.6, -122.4}, 12);
+  const double d1 = cache.Get(a, b);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const double d2 = cache.Get(b, a);  // symmetric key
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DistanceCache, CapacityBoundsStorage) {
+  CellDistanceCache cache(/*capacity=*/4);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const CellId a = CellId::FromIndices(12, static_cast<uint64_t>(i), 7);
+    const CellId b = CellId::FromIndices(12, 100, static_cast<uint64_t>(i));
+    cache.Get(a, b);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  // Still computes correctly past capacity.
+  const CellId a = CellId::FromIndices(12, 49, 7);
+  const CellId b = CellId::FromIndices(12, 100, 49);
+  EXPECT_DOUBLE_EQ(cache.Get(a, b), MinDistanceMeters(a, b));
+}
+
+TEST(DistanceCache, ZeroCapacityDisablesStorage) {
+  CellDistanceCache cache(0);
+  const CellId a = CellId::FromLatLng({10, 10}, 10);
+  const CellId b = CellId::FromLatLng({11, 11}, 10);
+  cache.Get(a, b);
+  cache.Get(a, b);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace slim

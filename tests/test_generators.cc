@@ -1,0 +1,213 @@
+#include "data/cab_generator.h"
+#include "data/checkin_generator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "geo/cell_id.h"
+#include "geo/latlng.h"
+
+namespace slim {
+namespace {
+
+CabGeneratorOptions SmallCab() {
+  CabGeneratorOptions opt;
+  opt.num_taxis = 10;
+  opt.duration_days = 0.5;
+  opt.record_interval_seconds = 120.0;
+  return opt;
+}
+
+TEST(CabGenerator, ProducesAllTaxis) {
+  const LocationDataset ds = GenerateCabDataset(SmallCab());
+  EXPECT_EQ(ds.num_entities(), 10u);
+}
+
+TEST(CabGenerator, RecordCountNearExpectation) {
+  const CabGeneratorOptions opt = SmallCab();
+  const LocationDataset ds = GenerateCabDataset(opt);
+  // Records accrue only during the on-duty fraction of the timeline.
+  const double duty_fraction =
+      opt.duty_hours_mean / (opt.duty_hours_mean + opt.rest_hours_mean);
+  const double expected = opt.duration_days * 86400.0 /
+                          opt.record_interval_seconds * duty_fraction;
+  EXPECT_NEAR(ds.AvgRecordsPerEntity(), expected, expected * 0.30);
+}
+
+TEST(CabGenerator, AlwaysOnFleetWhenRestDisabled) {
+  CabGeneratorOptions opt = SmallCab();
+  opt.rest_hours_mean = 0.0;
+  const LocationDataset ds = GenerateCabDataset(opt);
+  const double expected =
+      opt.duration_days * 86400.0 / opt.record_interval_seconds;
+  EXPECT_NEAR(ds.AvgRecordsPerEntity(), expected, expected * 0.15);
+}
+
+TEST(CabGenerator, DutyCyclingCreatesSilentGaps) {
+  const CabGeneratorOptions opt = SmallCab();
+  const LocationDataset ds = GenerateCabDataset(opt);
+  // At least one taxi should show a gap much longer than the sampling
+  // interval (an off-duty rest).
+  bool found_gap = false;
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    for (size_t k = 1; k < recs.size(); ++k) {
+      if (recs[k].timestamp - recs[k - 1].timestamp >
+          static_cast<int64_t>(10 * opt.record_interval_seconds)) {
+        found_gap = true;
+        break;
+      }
+    }
+    if (found_gap) break;
+  }
+  EXPECT_TRUE(found_gap);
+}
+
+TEST(CabGenerator, RecordsStayInsideCityBox) {
+  const CabGeneratorOptions opt = SmallCab();
+  const LocationDataset ds = GenerateCabDataset(opt);
+  for (const Record& r : ds.records()) {
+    EXPECT_GE(r.location.lat_deg, opt.lat_lo);
+    EXPECT_LE(r.location.lat_deg, opt.lat_hi);
+    EXPECT_GE(r.location.lng_deg, opt.lng_lo);
+    EXPECT_LE(r.location.lng_deg, opt.lng_hi);
+  }
+}
+
+TEST(CabGenerator, TimestampsInsideDuration) {
+  const CabGeneratorOptions opt = SmallCab();
+  const LocationDataset ds = GenerateCabDataset(opt);
+  const auto [lo, hi] = ds.TimeRange();
+  EXPECT_GE(lo, opt.start_epoch);
+  EXPECT_LE(hi, opt.start_epoch +
+                    static_cast<int64_t>(opt.duration_days * 86400.0));
+}
+
+TEST(CabGenerator, MovementIsPhysicallyConsistent) {
+  // Consecutive records of one taxi must respect speed limits (plus GPS
+  // noise): this is the property alibi detection relies on.
+  CabGeneratorOptions opt = SmallCab();
+  opt.gps_noise_meters = 0.0;
+  const LocationDataset ds = GenerateCabDataset(opt);
+  const double max_speed = opt.max_speed_kmh / 3.6;  // m/s
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    for (size_t k = 1; k < recs.size(); ++k) {
+      const double dt =
+          static_cast<double>(recs[k].timestamp - recs[k - 1].timestamp);
+      if (dt <= 0) continue;
+      const double dd =
+          HaversineMeters(recs[k - 1].location, recs[k].location);
+      EXPECT_LE(dd / dt, max_speed * 1.05)
+          << "taxi " << e << " jumped " << dd << " m in " << dt << " s";
+    }
+  }
+}
+
+TEST(CabGenerator, DeterministicForSeed) {
+  const LocationDataset a = GenerateCabDataset(SmallCab());
+  const LocationDataset b = GenerateCabDataset(SmallCab());
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(CabGenerator, SeedChangesOutput) {
+  CabGeneratorOptions opt = SmallCab();
+  const LocationDataset a = GenerateCabDataset(opt);
+  opt.seed = 1000;
+  const LocationDataset b = GenerateCabDataset(opt);
+  EXPECT_NE(a.records(), b.records());
+}
+
+TEST(CabGenerator, SpatialSkewFromHotspots) {
+  // With hotspot bias on, cell occupancy must be visibly skewed: the top
+  // cell should hold far more than a uniform share of records.
+  const LocationDataset ds = GenerateCabDataset(SmallCab());
+  std::unordered_map<uint64_t, size_t> counts;
+  for (const Record& r : ds.records()) {
+    ++counts[CellId::FromLatLng(r.location, 12).raw()];
+  }
+  size_t top = 0;
+  for (const auto& [cell, c] : counts) top = std::max(top, c);
+  const double uniform_share =
+      static_cast<double>(ds.num_records()) / static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(top), 2.0 * uniform_share);
+}
+
+CheckinGeneratorOptions SmallCheckin() {
+  CheckinGeneratorOptions opt;
+  opt.num_users = 300;
+  opt.num_cities = 8;
+  return opt;
+}
+
+TEST(CheckinGenerator, SparsePerUserRecords) {
+  const CheckinGeneratorOptions opt = SmallCheckin();
+  const LocationDataset ds = GenerateCheckinDataset(opt);
+  EXPECT_NEAR(ds.AvgRecordsPerEntity(), opt.mean_checkins,
+              opt.mean_checkins * 0.2);
+}
+
+TEST(CheckinGenerator, MostUsersPresent) {
+  const LocationDataset ds = GenerateCheckinDataset(SmallCheckin());
+  // Poisson(24) almost never yields 0 check-ins; nearly all users exist.
+  EXPECT_GE(ds.num_entities(), 295u);
+}
+
+TEST(CheckinGenerator, VenuesAreSharedAcrossUsers) {
+  // Popular venues must be reused by many users (this is what gives the
+  // IDF term its meaning). Count distinct users per fine cell.
+  const LocationDataset ds = GenerateCheckinDataset(SmallCheckin());
+  std::unordered_map<uint64_t, std::unordered_set<EntityId>> users_per_cell;
+  for (const Record& r : ds.records()) {
+    users_per_cell[CellId::FromLatLng(r.location, 16).raw()].insert(r.entity);
+  }
+  size_t max_users = 0;
+  for (const auto& [cell, users] : users_per_cell) {
+    max_users = std::max(max_users, users.size());
+  }
+  EXPECT_GE(max_users, 5u);
+}
+
+TEST(CheckinGenerator, TimestampsSpanThePeriod) {
+  const CheckinGeneratorOptions opt = SmallCheckin();
+  const LocationDataset ds = GenerateCheckinDataset(opt);
+  const auto [lo, hi] = ds.TimeRange();
+  EXPECT_GE(lo, opt.start_epoch);
+  EXPECT_LE(hi, opt.start_epoch +
+                    static_cast<int64_t>(opt.duration_days * 86400.0));
+  // Spread: the range should cover most of the period.
+  EXPECT_GT(hi - lo, static_cast<int64_t>(opt.duration_days * 86400.0 * 0.9));
+}
+
+TEST(CheckinGenerator, UsersAreCityLocal) {
+  // A non-travelling user's checkins should cluster within city radius
+  // (plus noise). Verify the median user spread is city-scale, not global.
+  const CheckinGeneratorOptions opt = SmallCheckin();
+  const LocationDataset ds = GenerateCheckinDataset(opt);
+  size_t local_users = 0, counted = 0;
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    if (recs.size() < 3) continue;
+    ++counted;
+    double max_d = 0.0;
+    for (size_t i = 1; i < recs.size(); ++i) {
+      max_d = std::max(
+          max_d, HaversineMeters(recs[0].location, recs[i].location));
+    }
+    if (max_d < 4.0 * opt.city_radius_meters) ++local_users;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(static_cast<double>(local_users) / static_cast<double>(counted),
+            0.7);
+}
+
+TEST(CheckinGenerator, DeterministicForSeed) {
+  const LocationDataset a = GenerateCheckinDataset(SmallCheckin());
+  const LocationDataset b = GenerateCheckinDataset(SmallCheckin());
+  EXPECT_EQ(a.records(), b.records());
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,116 @@
+#include "baselines/gm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+// Entities with distinct spatial footprints: entity k lives in a tight blob
+// around its own anchor.
+LocationDataset BlobDataset(const char* name,
+                            const std::vector<LatLng>& anchors,
+                            int records_each, uint64_t seed) {
+  LocationDataset ds(name);
+  Rng rng(seed);
+  for (size_t e = 0; e < anchors.size(); ++e) {
+    for (int k = 0; k < records_each; ++k) {
+      const LatLng p = DestinationPoint(
+          anchors[e], rng.NextDouble(0, 360),
+          std::abs(rng.NextGaussian()) * 200.0);
+      ds.Add(static_cast<EntityId>(e), p, rng.NextInt64(0, 86400 * 5));
+    }
+  }
+  ds.Finalize();
+  return ds;
+}
+
+GmConfig FastConfig() {
+  GmConfig c;
+  c.num_components = 2;
+  return c;
+}
+
+TEST(GmBaseline, ScoresOwnFootprintHighest) {
+  Rng rng(1);
+  std::vector<LatLng> anchors;
+  for (int k = 0; k < 6; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
+  const auto e = BlobDataset("E", anchors, 40, 10);
+  const auto i = BlobDataset("I", anchors, 40, 20);
+  const GmLinker linker(FastConfig());
+  auto r = linker.Link(e, i);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // For every left entity, the same-anchor right entity gets the best
+  // cross-likelihood.
+  std::unordered_map<EntityId, std::pair<EntityId, double>> best;
+  for (const auto& edge : r->graph.edges()) {
+    const auto it = best.find(edge.u);
+    if (it == best.end() || edge.weight > it->second.second) {
+      best[edge.u] = {edge.v, edge.weight};
+    }
+  }
+  ASSERT_EQ(best.size(), anchors.size());
+  for (const auto& [u, bv] : best) EXPECT_EQ(bv.first, u);
+}
+
+TEST(GmBaseline, ScoresAllCrossPairs) {
+  Rng rng(2);
+  std::vector<LatLng> anchors;
+  for (int k = 0; k < 4; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  const auto e = BlobDataset("E", anchors, 20, 30);
+  const auto i = BlobDataset("I", anchors, 20, 40);
+  const GmLinker linker(FastConfig());
+  auto r = linker.Link(e, i);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_edges(), 16u);  // no blocking: full cross product
+  EXPECT_GT(r->record_comparisons, 0u);
+}
+
+TEST(GmBaseline, RecoversIdentityLinkageOnSeparatedEntities) {
+  Rng rng(3);
+  std::vector<LatLng> anchors;
+  for (int k = 0; k < 8; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  const auto e = BlobDataset("E", anchors, 40, 50);
+  const auto i = BlobDataset("I", anchors, 40, 60);
+  const GmLinker linker(FastConfig());
+  auto r = linker.Link(e, i);
+  ASSERT_TRUE(r.ok());
+
+  GroundTruth truth;
+  for (size_t k = 0; k < anchors.size(); ++k) {
+    truth.a_to_b[static_cast<EntityId>(k)] = static_cast<EntityId>(k);
+  }
+  const LinkageQuality q = EvaluateLinks(r->links, truth);
+  EXPECT_GE(q.recall, 0.5);
+  EXPECT_GE(q.precision, 0.8);
+}
+
+TEST(GmBaseline, EmptySideYieldsEmptyResult) {
+  LocationDataset e("E"), i("I");
+  e.Finalize();
+  i.Add(0, {37.7, -122.4}, 100);
+  i.Finalize();
+  const GmLinker linker(FastConfig());
+  auto r = linker.Link(e, i);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->links.empty());
+  EXPECT_EQ(r->graph.num_edges(), 0u);
+}
+
+TEST(GmBaseline, UnfinalizedInputRejected) {
+  LocationDataset e("E"), i("I");
+  e.Add(0, {37.7, -122.4}, 100);
+  i.Finalize();
+  const GmLinker linker(FastConfig());
+  EXPECT_FALSE(linker.Link(e, i).ok());
+}
+
+}  // namespace
+}  // namespace slim

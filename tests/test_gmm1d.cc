@@ -1,0 +1,137 @@
+#include "stats/gmm1d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+std::vector<double> Bimodal(double mu1, double sigma1, int n1, double mu2,
+                            double sigma2, int n2, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<size_t>(n1 + n2));
+  for (int i = 0; i < n1; ++i) v.push_back(mu1 + sigma1 * rng.NextGaussian());
+  for (int i = 0; i < n2; ++i) v.push_back(mu2 + sigma2 * rng.NextGaussian());
+  return v;
+}
+
+TEST(Gaussian1D, PdfAndCdfBasics) {
+  Gaussian1D g{1.0, 0.0, 1.0};
+  EXPECT_NEAR(g.Pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(g.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.Cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(g.Cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(FitGmm1D, RecoversWellSeparatedComponents) {
+  const auto v = Bimodal(0.0, 1.0, 400, 50.0, 2.0, 600, 3);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const auto& gmm = *fit;
+  ASSERT_EQ(gmm.components.size(), 2u);
+  EXPECT_NEAR(gmm.components[0].mean, 0.0, 0.5);
+  EXPECT_NEAR(gmm.components[1].mean, 50.0, 0.5);
+  EXPECT_NEAR(gmm.components[0].weight, 0.4, 0.05);
+  EXPECT_NEAR(gmm.components[1].weight, 0.6, 0.05);
+  EXPECT_NEAR(std::sqrt(gmm.components[0].variance), 1.0, 0.3);
+  EXPECT_NEAR(std::sqrt(gmm.components[1].variance), 2.0, 0.5);
+}
+
+TEST(FitGmm1D, WeightsSumToOne) {
+  const auto v = Bimodal(0, 1, 100, 10, 1, 100, 5);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok());
+  double sum = 0.0;
+  for (const auto& c : fit->components) sum += c.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FitGmm1D, ComponentsSortedByMean) {
+  const auto v = Bimodal(30, 1, 100, -5, 1, 100, 7);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->components[0].mean, fit->components[1].mean);
+}
+
+TEST(FitGmm1D, MixtureCdfIsMonotoneAndNormalised) {
+  const auto v = Bimodal(0, 1, 200, 20, 3, 200, 9);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok());
+  double prev = -1.0;
+  for (double x = -10.0; x <= 40.0; x += 0.5) {
+    const double c = fit->Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(fit->Cdf(-1000.0), 0.0, 1e-9);
+  EXPECT_NEAR(fit->Cdf(1000.0), 1.0, 1e-9);
+}
+
+TEST(FitGmm1D, ResponsibilitiesPartitionUnity) {
+  const auto v = Bimodal(0, 1, 200, 20, 3, 200, 11);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok());
+  for (double x : {-2.0, 5.0, 10.0, 19.0, 30.0}) {
+    const double r0 = fit->Responsibility(0, x);
+    const double r1 = fit->Responsibility(1, x);
+    EXPECT_NEAR(r0 + r1, 1.0, 1e-9);
+    EXPECT_GE(r0, 0.0);
+    EXPECT_GE(r1, 0.0);
+  }
+  // Points near a component's mean belong to it.
+  EXPECT_GT(fit->Responsibility(0, 0.0), 0.99);
+  EXPECT_GT(fit->Responsibility(1, 20.0), 0.99);
+}
+
+TEST(FitGmm1D, LogLikelihoodNonDecreasingAcrossRefits) {
+  // EM's defining property: a longer run can't end with a worse fit.
+  const auto v = Bimodal(0, 2, 150, 8, 2, 150, 13);
+  GmmFitOptions one_iter;
+  one_iter.max_iterations = 1;
+  GmmFitOptions many;
+  many.max_iterations = 200;
+  auto f1 = FitGmm1D(v, one_iter);
+  auto f2 = FitGmm1D(v, many);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_GE(f2->log_likelihood, f1->log_likelihood - 1e-6);
+  EXPECT_TRUE(f2->converged);
+}
+
+TEST(FitGmm1D, FailsOnDegenerateInputs) {
+  EXPECT_FALSE(FitGmm1D({1.0}).ok());
+  EXPECT_FALSE(FitGmm1D({2.0, 2.0, 2.0}).ok());
+  GmmFitOptions opt;
+  opt.num_components = 0;
+  EXPECT_FALSE(FitGmm1D({1.0, 2.0, 3.0}, opt).ok());
+}
+
+TEST(FitGmm1D, OverlappingComponentsStillFit) {
+  const auto v = Bimodal(0, 1, 300, 2.5, 1, 300, 15);
+  auto fit = FitGmm1D(v);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->components[0].mean, fit->components[1].mean);
+  // Means should bracket the two true means loosely.
+  EXPECT_NEAR(fit->components[0].mean, 0.0, 1.5);
+  EXPECT_NEAR(fit->components[1].mean, 2.5, 1.5);
+}
+
+TEST(FitGmm1D, SingleComponentReducesToMle) {
+  Rng rng(17);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(5.0 + 2.0 * rng.NextGaussian());
+  GmmFitOptions opt;
+  opt.num_components = 1;
+  auto fit = FitGmm1D(v, opt);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->components.size(), 1u);
+  EXPECT_NEAR(fit->components[0].mean, 5.0, 0.3);
+  EXPECT_NEAR(fit->components[0].variance, 4.0, 0.8);
+  EXPECT_NEAR(fit->components[0].weight, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slim

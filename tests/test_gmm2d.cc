@@ -1,0 +1,114 @@
+#include "stats/gmm2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+std::vector<Point2> TwoBlobs(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.NextGaussian() * 100.0, rng.NextGaussian() * 100.0});
+  }
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({5000.0 + rng.NextGaussian() * 100.0,
+                   5000.0 + rng.NextGaussian() * 100.0});
+  }
+  return pts;
+}
+
+TEST(Gaussian2D, LogPdfMatchesClosedForm) {
+  Gaussian2D g;
+  g.weight = 1.0;
+  g.mean = {0.0, 0.0};
+  g.cov_xx = 4.0;
+  g.cov_yy = 9.0;
+  g.cov_xy = 0.0;
+  // At the mean: -log(2*pi) - 0.5*log(det) with det = 36.
+  EXPECT_NEAR(g.LogPdf({0.0, 0.0}),
+              -std::log(2.0 * M_PI) - 0.5 * std::log(36.0), 1e-12);
+  // One-sigma along x drops by 0.5.
+  EXPECT_NEAR(g.LogPdf({2.0, 0.0}), g.LogPdf({0.0, 0.0}) - 0.5, 1e-12);
+}
+
+TEST(FitGmm2D, RecoversTwoBlobs) {
+  Gmm2DFitOptions opt;
+  opt.num_components = 2;
+  auto fit = FitGmm2D(TwoBlobs(3), opt);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  ASSERT_EQ(fit->components.size(), 2u);
+  std::vector<Point2> means = {fit->components[0].mean,
+                               fit->components[1].mean};
+  std::sort(means.begin(), means.end(),
+            [](const Point2& a, const Point2& b) { return a.x < b.x; });
+  EXPECT_NEAR(means[0].x, 0.0, 50.0);
+  EXPECT_NEAR(means[0].y, 0.0, 50.0);
+  EXPECT_NEAR(means[1].x, 5000.0, 50.0);
+  EXPECT_NEAR(means[1].y, 5000.0, 50.0);
+  for (const auto& c : fit->components) EXPECT_NEAR(c.weight, 0.5, 0.05);
+}
+
+TEST(FitGmm2D, LogPdfHigherNearMassThanFarAway) {
+  Gmm2DFitOptions opt;
+  opt.num_components = 2;
+  auto fit = FitGmm2D(TwoBlobs(5), opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->LogPdf({0.0, 0.0}), fit->LogPdf({2500.0, 2500.0}));
+  EXPECT_GT(fit->LogPdf({5000.0, 5000.0}), fit->LogPdf({-3000.0, 8000.0}));
+}
+
+TEST(FitGmm2D, LogPdfIsFiniteEvenVeryFarAway) {
+  auto fit = FitGmm2D(TwoBlobs(7));
+  ASSERT_TRUE(fit.ok());
+  const double far = fit->LogPdf({1e9, -1e9});
+  EXPECT_TRUE(std::isfinite(far));
+}
+
+TEST(FitGmm2D, HandlesFewerDistinctPointsThanComponents) {
+  std::vector<Point2> pts = {{1, 1}, {1, 1}, {2, 2}};
+  Gmm2DFitOptions opt;
+  opt.num_components = 3;
+  auto fit = FitGmm2D(pts, opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->components.size(), 2u);
+}
+
+TEST(FitGmm2D, CovarianceFloorPreventsCollapse) {
+  // All points identical: covariance must stay at the floor, not 0.
+  std::vector<Point2> pts(50, Point2{3.0, 4.0});
+  Gmm2DFitOptions opt;
+  opt.num_components = 1;
+  opt.covariance_floor = 100.0;
+  auto fit = FitGmm2D(pts, opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->components[0].cov_xx, 100.0 - 1e-9);
+  EXPECT_GE(fit->components[0].cov_yy, 100.0 - 1e-9);
+  EXPECT_TRUE(std::isfinite(fit->LogPdf({3.0, 4.0})));
+}
+
+TEST(FitGmm2D, FailsOnEmptyInput) {
+  EXPECT_FALSE(FitGmm2D({}).ok());
+}
+
+TEST(FitGmm2D, AnisotropicCovarianceIsLearned) {
+  Rng rng(11);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({rng.NextGaussian() * 200.0, rng.NextGaussian() * 10.0});
+  }
+  Gmm2DFitOptions opt;
+  opt.num_components = 1;
+  opt.covariance_floor = 1.0;
+  auto fit = FitGmm2D(pts, opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->components[0].cov_xx, 10.0 * fit->components[0].cov_yy);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(Histogram, FromValuesSpansData) {
+  const Histogram h = Histogram::FromValues({2.0, 4.0, 6.0}, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 6.0);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FromValuesHandlesConstantData) {
+  const Histogram h = Histogram::FromValues({5.0, 5.0}, 3);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, AsciiRenderingContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, DiesOnInvalidConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 4), "hi > lo");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), ">= 1 bin");
+}
+
+}  // namespace
+}  // namespace slim

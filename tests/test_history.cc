@@ -1,0 +1,200 @@
+#include "core/history.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+constexpr int64_t kWindow = 900;
+
+HistoryConfig Config(int level = 12) {
+  HistoryConfig c;
+  c.spatial_level = level;
+  c.window_seconds = kWindow;
+  return c;
+}
+
+TEST(MobilityHistory, EmptyRecords) {
+  const MobilityHistory h =
+      MobilityHistory::FromRecords(1, {}, Config());
+  EXPECT_EQ(h.num_bins(), 0u);
+  EXPECT_TRUE(h.windows().empty());
+  EXPECT_TRUE(h.tree().empty());
+  EXPECT_EQ(h.total_records(), 0u);
+}
+
+TEST(MobilityHistory, GroupsRecordsIntoBins) {
+  const LatLng p{37.7, -122.4};
+  std::vector<Record> recs = {
+      {1, p, 100},   // window 0
+      {1, p, 200},   // window 0, same cell -> same bin, count 2
+      {1, p, 1000},  // window 1
+  };
+  const MobilityHistory h = MobilityHistory::FromRecords(1, recs, Config());
+  EXPECT_EQ(h.num_bins(), 2u);
+  EXPECT_EQ(h.total_records(), 3u);
+  EXPECT_EQ(h.windows(), (std::vector<int64_t>{0, 1}));
+  const auto w0 = h.BinsInWindow(0);
+  ASSERT_EQ(w0.size(), 1u);
+  EXPECT_EQ(w0[0].record_count, 2u);
+  EXPECT_EQ(w0[0].cell, CellId::FromLatLng(p, 12));
+}
+
+TEST(MobilityHistory, DistinctCellsSameWindowAreDistinctBins) {
+  std::vector<Record> recs = {
+      {1, {37.70, -122.40}, 100},
+      {1, {37.80, -122.50}, 200},  // far enough for a different level-12 cell
+  };
+  const MobilityHistory h = MobilityHistory::FromRecords(1, recs, Config());
+  EXPECT_EQ(h.num_bins(), 2u);
+  EXPECT_EQ(h.BinsInWindow(0).size(), 2u);
+}
+
+TEST(MobilityHistory, BinsSortedByWindowThenCell) {
+  Rng rng(3);
+  std::vector<Record> recs;
+  for (int i = 0; i < 200; ++i) {
+    recs.push_back({1, testing::RandomPointInBox(&rng),
+                    rng.NextInt64(0, 50) * kWindow + 10});
+  }
+  const MobilityHistory h = MobilityHistory::FromRecords(1, recs, Config());
+  for (size_t i = 1; i < h.bins().size(); ++i) {
+    const auto& prev = h.bins()[i - 1];
+    const auto& cur = h.bins()[i];
+    EXPECT_TRUE(prev.window < cur.window ||
+                (prev.window == cur.window && prev.cell < cur.cell));
+  }
+}
+
+TEST(MobilityHistory, TreeAgreesWithBins) {
+  Rng rng(4);
+  std::vector<Record> recs;
+  for (int i = 0; i < 100; ++i) {
+    recs.push_back({1, testing::RandomPointInBox(&rng),
+                    rng.NextInt64(0, 20) * kWindow + 5});
+  }
+  const MobilityHistory h = MobilityHistory::FromRecords(1, recs, Config());
+  EXPECT_EQ(h.tree().total_records(), 100u);
+  EXPECT_EQ(h.tree().num_windows(), h.windows().size());
+}
+
+TEST(MobilityHistory, UnoccupiedWindowYieldsEmptySpan) {
+  std::vector<Record> recs = {{1, {37.7, -122.4}, 100}};
+  const MobilityHistory h = MobilityHistory::FromRecords(1, recs, Config());
+  EXPECT_TRUE(h.BinsInWindow(99).empty());
+}
+
+TEST(HistorySet, BuildsAllEntities) {
+  LocationDataset ds("t");
+  ds.Add(1, {37.7, -122.4}, 100);
+  ds.Add(2, {37.7, -122.4}, 100);
+  ds.Add(2, {37.7, -122.4}, 2000);
+  ds.Finalize();
+  const HistorySet set = HistorySet::Build(ds, Config());
+  EXPECT_EQ(set.size(), 2u);
+  ASSERT_NE(set.Find(1), nullptr);
+  ASSERT_NE(set.Find(2), nullptr);
+  EXPECT_EQ(set.Find(3), nullptr);
+  EXPECT_EQ(set.Find(2)->num_bins(), 2u);
+  EXPECT_DOUBLE_EQ(set.avg_bins_per_history(), 1.5);
+}
+
+TEST(HistorySet, BinEntityCounts) {
+  const LatLng shared{37.70, -122.40};
+  const LatLng lonely{37.80, -122.50};
+  LocationDataset ds("t");
+  ds.Add(1, shared, 100);
+  ds.Add(2, shared, 200);
+  ds.Add(3, shared, 300);
+  ds.Add(3, lonely, 400);
+  ds.Finalize();
+  const HistorySet set = HistorySet::Build(ds, Config());
+  const CellId shared_cell = CellId::FromLatLng(shared, 12);
+  const CellId lonely_cell = CellId::FromLatLng(lonely, 12);
+  EXPECT_EQ(set.BinEntityCount(0, shared_cell), 3u);
+  EXPECT_EQ(set.BinEntityCount(0, lonely_cell), 1u);
+  EXPECT_EQ(set.BinEntityCount(7, shared_cell), 0u);
+}
+
+TEST(HistorySet, IdfFormula) {
+  const LatLng shared{37.70, -122.40};
+  const LatLng lonely{37.80, -122.50};
+  LocationDataset ds("t");
+  ds.Add(1, shared, 100);
+  ds.Add(2, shared, 200);
+  ds.Add(3, shared, 300);
+  ds.Add(3, lonely, 400);
+  ds.Finalize();
+  const HistorySet set = HistorySet::Build(ds, Config());
+  const CellId shared_cell = CellId::FromLatLng(shared, 12);
+  const CellId lonely_cell = CellId::FromLatLng(lonely, 12);
+  // idf = log(N / holders): shared bin held by all 3 -> log(1) = 0.
+  EXPECT_NEAR(set.Idf(0, shared_cell), 0.0, 1e-12);
+  EXPECT_NEAR(set.Idf(0, lonely_cell), std::log(3.0), 1e-12);
+  // Unknown bin gets the maximal idf log(N).
+  EXPECT_NEAR(set.Idf(42, lonely_cell), std::log(3.0), 1e-12);
+}
+
+TEST(HistorySet, LengthNormBm25Shape) {
+  LocationDataset ds("t");
+  // Entity 1: 1 bin. Entity 2: 3 bins. Average = 2.
+  ds.Add(1, {37.7, -122.4}, 100);
+  ds.Add(2, {37.7, -122.4}, 100);
+  ds.Add(2, {37.7, -122.4}, 1000);
+  ds.Add(2, {37.7, -122.4}, 2000);
+  ds.Finalize();
+  const HistorySet set = HistorySet::Build(ds, Config());
+  const MobilityHistory& h1 = *set.Find(1);
+  const MobilityHistory& h2 = *set.Find(2);
+  // b = 0: lengths ignored.
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h2, 0.0), 1.0);
+  // b = 1: pure relative size.
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h1, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h2, 1.0), 1.5);
+  // b = 0.5: halfway.
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h1, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(set.LengthNorm(h2, 0.5), 1.25);
+}
+
+// Property sweep: for any spatial level, total bin records equal dataset
+// records, and bin cells carry the configured level.
+class HistoryLevelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistoryLevelProperty, BinInvariantsHold) {
+  const int level = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(level));
+  LocationDataset ds("t");
+  for (int e = 0; e < 5; ++e) {
+    for (int i = 0; i < 50; ++i) {
+      ds.Add(e, testing::RandomPointInBox(&rng),
+             rng.NextInt64(0, 30) * kWindow + rng.NextInt64(0, kWindow - 1));
+    }
+  }
+  ds.Finalize();
+  const HistorySet set = HistorySet::Build(ds, Config(level));
+  for (const auto& h : set.histories()) {
+    uint64_t records = 0;
+    for (const auto& bin : h.bins()) {
+      EXPECT_EQ(bin.cell.level(), level);
+      EXPECT_GT(bin.record_count, 0u);
+      records += bin.record_count;
+    }
+    EXPECT_EQ(records, 50u);
+    EXPECT_EQ(h.total_records(), 50u);
+    // Bins per window sum to total bins.
+    size_t bins_via_windows = 0;
+    for (int64_t w : h.windows()) bins_via_windows += h.BinsInWindow(w).size();
+    EXPECT_EQ(bins_via_windows, h.num_bins());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, HistoryLevelProperty,
+                         ::testing::Values(4, 8, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,70 @@
+#include "stats/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(KMeans1D, SeparatesTwoObviousClusters) {
+  std::vector<double> v;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) v.push_back(rng.NextGaussian() * 0.5);
+  for (int i = 0; i < 100; ++i) v.push_back(10.0 + rng.NextGaussian() * 0.5);
+  const KMeans1DResult r = KMeans1D(v, 2);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_NEAR(r.centers[0], 0.0, 0.3);
+  EXPECT_NEAR(r.centers[1], 10.0, 0.3);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.cluster_size[0], 100u);
+  EXPECT_EQ(r.cluster_size[1], 100u);
+}
+
+TEST(KMeans1D, CentersSortedAscending) {
+  std::vector<double> v = {5, 5, 5, 1, 1, 1, 9, 9, 9};
+  const KMeans1DResult r = KMeans1D(v, 3);
+  ASSERT_EQ(r.centers.size(), 3u);
+  EXPECT_LT(r.centers[0], r.centers[1]);
+  EXPECT_LT(r.centers[1], r.centers[2]);
+}
+
+TEST(KMeans1D, AssignmentsMatchNearestCenter) {
+  std::vector<double> v = {0.0, 0.1, 10.0, 10.1, 0.2};
+  const KMeans1DResult r = KMeans1D(v, 2);
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_EQ(r.assignment[1], 0);
+  EXPECT_EQ(r.assignment[2], 1);
+  EXPECT_EQ(r.assignment[3], 1);
+  EXPECT_EQ(r.assignment[4], 0);
+}
+
+TEST(KMeans1D, KClampedToDistinctValues) {
+  std::vector<double> v = {1.0, 1.0, 2.0};
+  const KMeans1DResult r = KMeans1D(v, 5);
+  EXPECT_LE(r.centers.size(), 2u);
+}
+
+TEST(KMeans1D, SingleCluster) {
+  std::vector<double> v = {3.0, 3.5, 4.0};
+  const KMeans1DResult r = KMeans1D(v, 1);
+  ASSERT_EQ(r.centers.size(), 1u);
+  EXPECT_NEAR(r.centers[0], 3.5, 1e-9);
+}
+
+TEST(TwoMeansThreshold, FallsBetweenClusters) {
+  std::vector<double> v;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) v.push_back(rng.NextGaussian());
+  for (int i = 0; i < 50; ++i) v.push_back(20.0 + rng.NextGaussian());
+  const double t = TwoMeansThreshold(v);
+  EXPECT_GT(t, 5.0);
+  EXPECT_LT(t, 15.0);
+}
+
+TEST(KMeans1D, DiesOnEmptyInput) {
+  EXPECT_DEATH(KMeans1D({}, 2), "requires values");
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,80 @@
+#include "stats/kneedle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(Kneedle, FindsElbowOfConvexDecreasingCurve) {
+  // y = 1/x has a pronounced elbow near the small-x end.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(1.0 / i);
+  }
+  KneedleOptions opt;
+  opt.curve = KneedleCurve::kConvexDecreasing;
+  const auto k = FindKneedle(x, y, opt);
+  ASSERT_TRUE(k.has_value());
+  // The canonical 1/x knee on [1,20] is at x ~ 3..5.
+  EXPECT_GE(x[*k], 2.0);
+  EXPECT_LE(x[*k], 6.0);
+}
+
+TEST(Kneedle, FindsKneeOfConcaveIncreasingCurve) {
+  // y = 1 - exp(-x): diminishing returns, knee around x ~ 1-3.
+  std::vector<double> x, y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(i * 0.25);
+    y.push_back(1.0 - std::exp(-i * 0.25));
+  }
+  KneedleOptions opt;
+  opt.curve = KneedleCurve::kConcaveIncreasing;
+  const auto k = FindKneedle(x, y, opt);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_GE(x[*k], 0.5);
+  EXPECT_LE(x[*k], 3.5);
+}
+
+TEST(Kneedle, StraightLineHasNoKnee) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 - 0.5 * i);
+  }
+  EXPECT_FALSE(FindKneedle(x, y).has_value());
+}
+
+TEST(Kneedle, FlatLineHasNoKnee) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {2, 2, 2, 2, 2};
+  EXPECT_FALSE(FindKneedle(x, y).has_value());
+}
+
+TEST(Kneedle, TooFewPointsReturnsNullopt) {
+  EXPECT_FALSE(FindKneedle({0, 1}, {5, 1}).has_value());
+}
+
+TEST(Kneedle, StepCurveKneesAtTheStep) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(i < 5 ? 10.0 - 2.0 * i : 10.0 - 2.0 * 5 - 0.01 * (i - 5));
+  }
+  const auto k = FindKneedle(x, y);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_NEAR(x[*k], 5.0, 1.5);
+}
+
+TEST(Kneedle, DiesOnUnsortedX) {
+  EXPECT_DEATH(FindKneedle({0, 2, 1}, {3, 2, 1}), "strictly increasing");
+}
+
+TEST(Kneedle, DiesOnSizeMismatch) {
+  EXPECT_DEATH(FindKneedle({0, 1, 2}, {3, 2}), "mismatch");
+}
+
+}  // namespace
+}  // namespace slim

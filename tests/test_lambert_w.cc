@@ -1,0 +1,51 @@
+#include "stats/lambert_w.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(LambertW0, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0), 0.0, 1e-14);
+  EXPECT_NEAR(LambertW0(std::exp(1.0)), 1.0, 1e-9);            // W(e) = 1
+  EXPECT_NEAR(LambertW0(2.0 * std::exp(2.0)), 2.0, 1e-9);      // W(2e^2) = 2
+  EXPECT_NEAR(LambertW0(-1.0 / std::exp(1.0)), -1.0, 1e-5);    // branch point
+  EXPECT_NEAR(LambertW0(1.0), 0.5671432904097838, 1e-9);       // Omega const
+}
+
+TEST(LambertW0, InverseRoundTrip) {
+  // W(x) e^{W(x)} = x over a wide range.
+  for (double x : {-0.35, -0.1, 0.01, 0.5, 1.0, 3.0, 10.0, 100.0, 1e6}) {
+    const double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, std::abs(x) * 1e-8 + 1e-10) << x;
+  }
+}
+
+TEST(LambertW0, MonotoneIncreasing) {
+  double prev = LambertW0(-0.36);
+  for (double x = -0.3; x < 50.0; x += 0.7) {
+    const double w = LambertW0(x);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(LambertW0, DiesBelowBranchPoint) {
+  EXPECT_DEATH(LambertW0(-0.5), "-1/e");
+}
+
+TEST(LambertW0, PaperBandSizingExample) {
+  // b = e^{W(-s ln t)}: for s = 4, t = 0.6 the paper's sizing gives b ~ 2.4.
+  const double s = 4.0, t = 0.6;
+  const double b = std::exp(LambertW0(-s * std::log(t)));
+  EXPECT_GT(b, 1.5);
+  EXPECT_LT(b, 3.5);
+  // Self-consistency of the derivation: with r = s / b, t == (1/b)^(1/r).
+  const double r = s / b;
+  EXPECT_NEAR(std::pow(1.0 / b, 1.0 / r), t, 1e-9);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,117 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(LatLng, ValidityChecks) {
+  EXPECT_TRUE((LatLng{0.0, 0.0}).IsValid());
+  EXPECT_TRUE((LatLng{-90.0, -180.0}).IsValid());
+  EXPECT_FALSE((LatLng{90.5, 0.0}).IsValid());
+  EXPECT_FALSE((LatLng{0.0, 180.0}).IsValid());  // 180 wraps to -180
+}
+
+TEST(LatLng, NormalizedWrapsLongitude) {
+  EXPECT_DOUBLE_EQ((LatLng{0.0, 190.0}).Normalized().lng_deg, -170.0);
+  EXPECT_DOUBLE_EQ((LatLng{0.0, -190.0}).Normalized().lng_deg, 170.0);
+  EXPECT_DOUBLE_EQ((LatLng{0.0, 540.0}).Normalized().lng_deg, -180.0);
+  EXPECT_DOUBLE_EQ((LatLng{95.0, 0.0}).Normalized().lat_deg, 90.0);
+}
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLng p{37.7, -122.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(Haversine, KnownDistanceSfToLa) {
+  // SF (37.7749, -122.4194) to LA (34.0522, -118.2437): ~559 km.
+  const double d = HaversineMeters({37.7749, -122.4194}, {34.0522, -118.2437});
+  EXPECT_NEAR(d, 559000.0, 5000.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const double d = HaversineMeters({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(d, 111195.0, 100.0);
+}
+
+TEST(Haversine, SymmetricOnRandomPairs) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng a{rng.NextDouble(-89, 89), rng.NextDouble(-180, 180)};
+    const LatLng b{rng.NextDouble(-89, 89), rng.NextDouble(-180, 180)};
+    EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+  }
+}
+
+TEST(Haversine, TriangleInequalityOnRandomTriples) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng a{rng.NextDouble(-89, 89), rng.NextDouble(-180, 180)};
+    const LatLng b{rng.NextDouble(-89, 89), rng.NextDouble(-180, 180)};
+    const LatLng c{rng.NextDouble(-89, 89), rng.NextDouble(-180, 180)};
+    EXPECT_LE(HaversineMeters(a, c),
+              HaversineMeters(a, b) + HaversineMeters(b, c) + 1e-6);
+  }
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+  const double d = HaversineMeters({0.0, 0.0}, {0.0, 179.9999});
+  EXPECT_NEAR(d, M_PI * kEarthRadiusMeters, 100.0);
+}
+
+TEST(DestinationPoint, RoundTripsDistance) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng origin{rng.NextDouble(-60, 60), rng.NextDouble(-180, 180)};
+    const double bearing = rng.NextDouble(0, 360);
+    const double dist = rng.NextDouble(10, 200000);
+    const LatLng dest = DestinationPoint(origin, bearing, dist);
+    EXPECT_NEAR(HaversineMeters(origin, dest), dist, dist * 1e-6 + 0.01);
+  }
+}
+
+TEST(DestinationPoint, NorthIncreasesLatitude) {
+  const LatLng origin{10.0, 20.0};
+  const LatLng dest = DestinationPoint(origin, 0.0, 10000.0);
+  EXPECT_GT(dest.lat_deg, origin.lat_deg);
+  EXPECT_NEAR(dest.lng_deg, origin.lng_deg, 1e-9);
+}
+
+TEST(DestinationPoint, ZeroDistanceIsIdentity) {
+  const LatLng origin{10.0, 20.0};
+  const LatLng dest = DestinationPoint(origin, 123.0, 0.0);
+  EXPECT_NEAR(dest.lat_deg, origin.lat_deg, 1e-12);
+  EXPECT_NEAR(dest.lng_deg, origin.lng_deg, 1e-12);
+}
+
+TEST(InitialBearing, CardinalDirections) {
+  const LatLng origin{0.0, 0.0};
+  EXPECT_NEAR(InitialBearingDeg(origin, {1.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(InitialBearingDeg(origin, {0.0, 1.0}), 90.0, 1e-9);
+  EXPECT_NEAR(InitialBearingDeg(origin, {-1.0, 0.0}), 180.0, 1e-9);
+  EXPECT_NEAR(InitialBearingDeg(origin, {0.0, -1.0}), 270.0, 1e-9);
+}
+
+TEST(InitialBearing, ConsistentWithDestinationPoint) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const LatLng origin{rng.NextDouble(-60, 60), rng.NextDouble(-170, 170)};
+    const double bearing = rng.NextDouble(0, 360);
+    const LatLng dest = DestinationPoint(origin, bearing, 5000.0);
+    double diff = std::abs(InitialBearingDeg(origin, dest) - bearing);
+    if (diff > 180.0) diff = 360.0 - diff;
+    EXPECT_LT(diff, 0.1);
+  }
+}
+
+TEST(LatLng, ToStringFormat) {
+  EXPECT_EQ((LatLng{37.5, -122.25}).ToString(), "(37.500000, -122.250000)");
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,64 @@
+#include "eval/links_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+class LinksIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("slim_links_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LinksIoTest, RoundTrip) {
+  const std::vector<LinkedEntityPair> links = {
+      {1, 100, 42.5}, {2, 200, 17.25}, {-3, 300, 0.0}};
+  const std::string path = Path("links.csv");
+  ASSERT_TRUE(WriteLinksCsv(links, path).ok());
+  auto loaded = ReadLinksCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].u, 1);
+  EXPECT_EQ((*loaded)[0].v, 100);
+  EXPECT_DOUBLE_EQ((*loaded)[0].score, 42.5);
+  EXPECT_EQ((*loaded)[2].u, -3);
+}
+
+TEST_F(LinksIoTest, EmptyLinksRoundTrip) {
+  const std::string path = Path("empty.csv");
+  ASSERT_TRUE(WriteLinksCsv({}, path).ok());
+  auto loaded = ReadLinksCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(LinksIoTest, MalformedRowFails) {
+  const std::string path = Path("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "entity_a,entity_b,score\n1,2\n";
+  }
+  EXPECT_FALSE(ReadLinksCsv(path).ok());
+}
+
+TEST_F(LinksIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadLinksCsv(Path("absent.csv")).ok());
+}
+
+}  // namespace
+}  // namespace slim

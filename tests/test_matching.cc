@@ -1,0 +1,166 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(GreedyMatching, EmptyGraph) {
+  const Matching m = GreedyMaxWeightMatching(BipartiteGraph{});
+  EXPECT_TRUE(m.pairs.empty());
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.0);
+}
+
+TEST(GreedyMatching, PicksHeaviestFirst) {
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 5.0);
+  g.AddEdge(1, 11, 9.0);
+  g.AddEdge(2, 10, 8.0);
+  const Matching m = GreedyMaxWeightMatching(g);
+  ASSERT_EQ(m.pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.total_weight, 17.0);
+  EXPECT_TRUE(m.IsValidMatching());
+}
+
+TEST(GreedyMatching, OneToOneConstraintHolds) {
+  BipartiteGraph g;
+  // Entity 1 is attractive to everyone; only one may have it.
+  g.AddEdge(1, 10, 3.0);
+  g.AddEdge(2, 10, 2.0);
+  g.AddEdge(3, 10, 1.0);
+  const Matching m = GreedyMaxWeightMatching(g);
+  ASSERT_EQ(m.pairs.size(), 1u);
+  EXPECT_EQ(m.pairs[0].u, 1);
+}
+
+TEST(GreedyMatching, DeterministicTieBreak) {
+  BipartiteGraph g;
+  g.AddEdge(2, 20, 1.0);
+  g.AddEdge(1, 20, 1.0);
+  g.AddEdge(1, 21, 1.0);
+  const Matching m1 = GreedyMaxWeightMatching(g);
+  const Matching m2 = GreedyMaxWeightMatching(g);
+  EXPECT_EQ(m1.pairs.size(), m2.pairs.size());
+  for (size_t i = 0; i < m1.pairs.size(); ++i) {
+    EXPECT_EQ(m1.pairs[i], m2.pairs[i]);
+  }
+  // Ties break toward smaller (u, v): edge (1,20) first.
+  EXPECT_EQ(m1.pairs[0].u, 1);
+  EXPECT_EQ(m1.pairs[0].v, 20);
+}
+
+TEST(GreedyMatching, KnownSuboptimalCase) {
+  // Greedy takes (1,10,10) and strands vertex 2; optimal pairs (1,11)+(2,10)
+  // for 9+8=17.
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 10.0);
+  g.AddEdge(1, 11, 9.0);
+  g.AddEdge(2, 10, 8.0);
+  const Matching greedy = GreedyMaxWeightMatching(g);
+  const Matching exact = HungarianMaxWeightMatching(g);
+  EXPECT_DOUBLE_EQ(greedy.total_weight, 10.0);
+  EXPECT_DOUBLE_EQ(exact.total_weight, 17.0);
+}
+
+TEST(HungarianMatching, EmptyGraph) {
+  const Matching m = HungarianMaxWeightMatching(BipartiteGraph{});
+  EXPECT_TRUE(m.pairs.empty());
+}
+
+TEST(HungarianMatching, SingleEdge) {
+  BipartiteGraph g;
+  g.AddEdge(5, 7, 3.5);
+  const Matching m = HungarianMaxWeightMatching(g);
+  ASSERT_EQ(m.pairs.size(), 1u);
+  EXPECT_EQ(m.pairs[0], (WeightedEdge{5, 7, 3.5}));
+}
+
+TEST(HungarianMatching, RectangularMoreLeftThanRight) {
+  BipartiteGraph g;
+  g.AddEdge(1, 100, 4.0);
+  g.AddEdge(2, 100, 6.0);
+  g.AddEdge(3, 100, 5.0);
+  const Matching m = HungarianMaxWeightMatching(g);
+  ASSERT_EQ(m.pairs.size(), 1u);
+  EXPECT_EQ(m.pairs[0].u, 2);
+}
+
+// Exhaustive optimal matching for tiny instances, for cross-checking.
+double BruteForceBest(const std::vector<WeightedEdge>& edges, size_t idx,
+                      std::vector<EntityId>* used_u,
+                      std::vector<EntityId>* used_v) {
+  if (idx == edges.size()) return 0.0;
+  // Skip edge idx.
+  double best = BruteForceBest(edges, idx + 1, used_u, used_v);
+  const auto& e = edges[idx];
+  const bool u_free =
+      std::find(used_u->begin(), used_u->end(), e.u) == used_u->end();
+  const bool v_free =
+      std::find(used_v->begin(), used_v->end(), e.v) == used_v->end();
+  if (u_free && v_free) {
+    used_u->push_back(e.u);
+    used_v->push_back(e.v);
+    best = std::max(best,
+                    e.weight + BruteForceBest(edges, idx + 1, used_u, used_v));
+    used_u->pop_back();
+    used_v->pop_back();
+  }
+  return best;
+}
+
+class MatchingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingProperty, HungarianMatchesBruteForceAndBeatsGreedy) {
+  Rng rng(GetParam());
+  BipartiteGraph g;
+  const int nl = 1 + static_cast<int>(rng.NextUint64(5));
+  const int nr = 1 + static_cast<int>(rng.NextUint64(5));
+  for (int u = 0; u < nl; ++u) {
+    for (int v = 0; v < nr; ++v) {
+      if (rng.NextBernoulli(0.7)) {
+        g.AddEdge(u, 100 + v, rng.NextDouble(0.1, 10.0));
+      }
+    }
+  }
+  const Matching greedy = GreedyMaxWeightMatching(g);
+  const Matching exact = HungarianMaxWeightMatching(g);
+  EXPECT_TRUE(greedy.IsValidMatching());
+  EXPECT_TRUE(exact.IsValidMatching());
+
+  std::vector<EntityId> uu, vv;
+  const double best = BruteForceBest(g.edges(), 0, &uu, &vv);
+  EXPECT_NEAR(exact.total_weight, best, 1e-9);
+  EXPECT_LE(greedy.total_weight, exact.total_weight + 1e-9);
+  // Greedy is a 1/2-approximation of the optimum.
+  EXPECT_GE(greedy.total_weight, 0.5 * exact.total_weight - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(BipartiteGraph, VertexCounts) {
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 1.0);
+  g.AddEdge(1, 11, 1.0);
+  g.AddEdge(2, 10, 1.0);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_left_vertices(), 2u);
+  EXPECT_EQ(g.num_right_vertices(), 2u);
+}
+
+TEST(Matching, IsValidMatchingDetectsDuplicates) {
+  Matching m;
+  m.pairs = {{1, 10, 1.0}, {1, 11, 1.0}};
+  EXPECT_FALSE(m.IsValidMatching());
+  m.pairs = {{1, 10, 1.0}, {2, 10, 1.0}};
+  EXPECT_FALSE(m.IsValidMatching());
+  m.pairs = {{1, 10, 1.0}, {2, 11, 1.0}};
+  EXPECT_TRUE(m.IsValidMatching());
+}
+
+}  // namespace
+}  // namespace slim

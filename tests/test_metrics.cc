@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+GroundTruth MakeTruth(std::vector<std::pair<EntityId, EntityId>> pairs) {
+  GroundTruth t;
+  for (const auto& [a, b] : pairs) t.a_to_b[a] = b;
+  return t;
+}
+
+TEST(EvaluateLinks, PerfectLinkage) {
+  const GroundTruth truth = MakeTruth({{1, 10}, {2, 20}});
+  const std::vector<LinkedEntityPair> links = {{1, 10, 5.0}, {2, 20, 4.0}};
+  const LinkageQuality q = EvaluateLinks(links, truth);
+  EXPECT_EQ(q.true_positives, 2u);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_EQ(q.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(EvaluateLinks, MixedLinkage) {
+  const GroundTruth truth = MakeTruth({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  const std::vector<LinkedEntityPair> links = {
+      {1, 10, 1.0},   // TP
+      {2, 99, 1.0},   // FP (wrong partner)
+      {9, 40, 1.0},   // FP (not a truth entity)
+  };
+  const LinkageQuality q = EvaluateLinks(links, truth);
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.false_positives, 2u);
+  EXPECT_EQ(q.false_negatives, 3u);
+  EXPECT_NEAR(q.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.recall, 0.25, 1e-12);
+}
+
+TEST(EvaluateLinks, EmptyLinksZeroScores) {
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  const LinkageQuality q = EvaluateLinks({}, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+  EXPECT_EQ(q.false_negatives, 1u);
+}
+
+TEST(EvaluateLinks, EmptyTruthMakesAllLinksFalse) {
+  const LinkageQuality q = EvaluateLinks({{1, 10, 1.0}}, GroundTruth{});
+  EXPECT_EQ(q.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+TEST(HitPrecision, PerfectRankGivesOne) {
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 9.0);  // true partner ranked first
+  g.AddEdge(1, 11, 2.0);
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1}, truth, 40), 1.0);
+}
+
+TEST(HitPrecision, RankDecaysLinearly) {
+  BipartiteGraph g;
+  // True partner at rank 3 (two heavier edges above it).
+  g.AddEdge(1, 11, 9.0);
+  g.AddEdge(1, 12, 8.0);
+  g.AddEdge(1, 10, 7.0);
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  // 1 - (rank0 = 2)/k with k = 4 -> 0.5.
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1}, truth, 4), 0.5);
+}
+
+TEST(HitPrecision, BeyondKContributesZero) {
+  BipartiteGraph g;
+  g.AddEdge(1, 11, 9.0);
+  g.AddEdge(1, 12, 8.0);
+  g.AddEdge(1, 10, 7.0);
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1}, truth, 2), 0.0);
+}
+
+TEST(HitPrecision, EntitiesWithoutTruthDragTheAverage) {
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 9.0);
+  g.AddEdge(2, 10, 9.0);  // entity 2 has no true partner
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  // Entity 1 scores 1.0, entity 2 scores 0 -> mean 0.5 (the paper's "best
+  // achievable 0.5" setup at 50% intersection).
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1, 2}, truth, 40), 0.5);
+}
+
+TEST(HitPrecision, UnscoredTruePartnerScoresZero) {
+  BipartiteGraph g;
+  g.AddEdge(1, 11, 9.0);  // true partner 10 never scored
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1}, truth, 40), 0.0);
+}
+
+TEST(HitPrecision, TieBreaksTowardSmallerId) {
+  BipartiteGraph g;
+  g.AddEdge(1, 10, 5.0);
+  g.AddEdge(1, 11, 5.0);  // tie; 10 ranks first
+  const GroundTruth truth = MakeTruth({{1, 10}});
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(g, {1}, truth, 2), 1.0);
+}
+
+TEST(HitPrecision, EmptyEntityListIsZero) {
+  EXPECT_DOUBLE_EQ(HitPrecisionAtK(BipartiteGraph{}, {}, GroundTruth{}, 10),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace slim

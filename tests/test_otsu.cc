@@ -1,0 +1,52 @@
+#include "stats/otsu.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(Otsu, SeparatesTwoClusters) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.NextGaussian());
+  for (int i = 0; i < 500; ++i) v.push_back(30.0 + rng.NextGaussian());
+  const double t = OtsuThreshold(v);
+  EXPECT_GT(t, 5.0);
+  EXPECT_LT(t, 25.0);
+}
+
+TEST(Otsu, UnbalancedClusters) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 900; ++i) v.push_back(rng.NextGaussian());
+  for (int i = 0; i < 100; ++i) v.push_back(50.0 + rng.NextGaussian());
+  const double t = OtsuThreshold(v);
+  EXPECT_GT(t, 5.0);
+  EXPECT_LT(t, 45.0);
+}
+
+TEST(Otsu, TwoValueInputSplitsBetween) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 10.0, 10.0};
+  const double t = OtsuThreshold(v);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LE(t, 10.0);
+}
+
+TEST(Otsu, DiesOnDegenerateInput) {
+  EXPECT_DEATH(OtsuThreshold({1.0}), ">= 2 values");
+  EXPECT_DEATH(OtsuThreshold({2.0, 2.0}), "distinct");
+}
+
+TEST(Otsu, ThresholdWithinDataRange) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.NextDouble(-5.0, 5.0));
+  const double t = OtsuThreshold(v);
+  EXPECT_GE(t, -5.0);
+  EXPECT_LE(t, 5.0);
+}
+
+}  // namespace
+}  // namespace slim

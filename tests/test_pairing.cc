@@ -1,0 +1,126 @@
+#include "core/pairing.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(MutuallyNearestPairs, EmptySides) {
+  EXPECT_TRUE(MutuallyNearestPairs({}, 0, 0).empty());
+  EXPECT_TRUE(MutuallyNearestPairs({}, 0, 5).empty());
+  EXPECT_TRUE(MutuallyNearestPairs({}, 3, 0).empty());
+}
+
+TEST(MutuallyNearestPairs, SinglePair) {
+  const auto pairs = MutuallyNearestPairs({7.0}, 1, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (BinPair{0, 0}));
+}
+
+TEST(MutuallyNearestPairs, PicksGlobalMinimumFirst) {
+  // 2x2 matrix; global min at (1, 0).
+  const std::vector<double> d = {5.0, 2.0,   // row 0
+                                 1.0, 9.0};  // row 1
+  const auto pairs = MutuallyNearestPairs(d, 2, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (BinPair{1, 0}));
+  EXPECT_EQ(pairs[1], (BinPair{0, 1}));
+}
+
+TEST(MutuallyNearestPairs, PaperExampleDodgesOvercounting) {
+  // One bin on the left, two on the right at distances d and d+r: MNN pairs
+  // only the close one; the far bin stays unmatched (MFN finds it below).
+  const std::vector<double> d = {100.0, 40000.0};
+  const auto mnn = MutuallyNearestPairs(d, 1, 2);
+  ASSERT_EQ(mnn.size(), 1u);
+  EXPECT_EQ(mnn[0], (BinPair{0, 0}));
+  const auto mfn = MutuallyFurthestPairs(d, 1, 2);
+  ASSERT_EQ(mfn.size(), 1u);
+  EXPECT_EQ(mfn[0], (BinPair{0, 1}));
+}
+
+TEST(MutuallyFurthestPairs, PicksGlobalMaximumFirst) {
+  const std::vector<double> d = {5.0, 2.0, 1.0, 9.0};
+  const auto pairs = MutuallyFurthestPairs(d, 2, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (BinPair{1, 1}));
+  EXPECT_EQ(pairs[1], (BinPair{0, 0}));
+}
+
+TEST(AllPairs, FullCartesianProduct) {
+  const auto pairs = AllPairs(2, 3);
+  EXPECT_EQ(pairs.size(), 6u);
+  std::set<BinPair> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Pairing, DeterministicUnderTies) {
+  const std::vector<double> d(9, 1.0);  // all equal
+  const auto p1 = MutuallyNearestPairs(d, 3, 3);
+  const auto p2 = MutuallyNearestPairs(d, 3, 3);
+  EXPECT_EQ(p1, p2);
+  // Ties resolve in row-major order: (0,0), (1,1), (2,2).
+  ASSERT_EQ(p1.size(), 3u);
+  EXPECT_EQ(p1[0], (BinPair{0, 0}));
+  EXPECT_EQ(p1[1], (BinPair{1, 1}));
+  EXPECT_EQ(p1[2], (BinPair{2, 2}));
+}
+
+class PairingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairingProperty, PairsAreDisjointAndCoverSmallerSide) {
+  Rng rng(GetParam());
+  const size_t m = 1 + rng.NextUint64(8);
+  const size_t n = 1 + rng.NextUint64(8);
+  std::vector<double> d(m * n);
+  for (auto& x : d) x = rng.NextDouble(0.0, 100.0);
+
+  for (bool nearest : {true, false}) {
+    const auto pairs = nearest ? MutuallyNearestPairs(d, m, n)
+                               : MutuallyFurthestPairs(d, m, n);
+    EXPECT_EQ(pairs.size(), std::min(m, n));
+    std::set<size_t> rows, cols;
+    for (const auto& [r, c] : pairs) {
+      EXPECT_LT(r, m);
+      EXPECT_LT(c, n);
+      EXPECT_TRUE(rows.insert(r).second) << "duplicate row";
+      EXPECT_TRUE(cols.insert(c).second) << "duplicate col";
+    }
+  }
+}
+
+TEST_P(PairingProperty, GreedyPrefixOrderingHolds) {
+  // Selected distances are non-decreasing for MNN (non-increasing for MFN):
+  // each greedy step picks the extreme among remaining pairs.
+  Rng rng(GetParam() + 1000);
+  const size_t m = 2 + rng.NextUint64(6);
+  const size_t n = 2 + rng.NextUint64(6);
+  std::vector<double> d(m * n);
+  for (auto& x : d) x = rng.NextDouble(0.0, 100.0);
+
+  const auto mnn = MutuallyNearestPairs(d, m, n);
+  for (size_t k = 1; k < mnn.size(); ++k) {
+    EXPECT_LE(d[mnn[k - 1].first * n + mnn[k - 1].second],
+              d[mnn[k].first * n + mnn[k].second] + 1e-12);
+  }
+  const auto mfn = MutuallyFurthestPairs(d, m, n);
+  for (size_t k = 1; k < mfn.size(); ++k) {
+    EXPECT_GE(d[mfn[k - 1].first * n + mfn[k - 1].second],
+              d[mfn[k].first * n + mfn[k].second] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairingProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(Pairing, DiesOnShapeMismatch) {
+  EXPECT_DEATH(MutuallyNearestPairs({1.0, 2.0}, 2, 2), "shape");
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,85 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const size_t n = 10001;
+  std::vector<std::atomic<int>> touched(n);
+  ParallelFor(n, [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  bool called = false;
+  ParallelFor(0, [&](size_t, size_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> shards;
+  ParallelFor(
+      100, [&](size_t, size_t, int shard) { shards.push_back(shard); },
+      /*threads=*/1);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], 0);
+}
+
+TEST(ParallelFor, ShardsAreContiguousAndOrdered) {
+  const size_t n = 1000;
+  const int threads = 4;
+  std::vector<std::pair<size_t, size_t>> ranges(threads, {0, 0});
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end, int shard) {
+        ranges[static_cast<size_t>(shard)] = {begin, end};
+      },
+      threads);
+  size_t covered = 0;
+  for (const auto& [b, e] : ranges) covered += e - b;
+  EXPECT_EQ(covered, n);
+}
+
+TEST(ParallelFor, PerShardAccumulatorsMergeDeterministically) {
+  const size_t n = 5000;
+  for (int threads : {1, 2, 3, 8}) {
+    std::vector<long> sums(static_cast<size_t>(threads), 0);
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end, int shard) {
+          for (size_t i = begin; i < end; ++i) {
+            sums[static_cast<size_t>(shard)] += static_cast<long>(i);
+          }
+        },
+        threads);
+    const long total = std::accumulate(sums.begin(), sums.end(), 0L);
+    EXPECT_EQ(total, static_cast<long>(n * (n - 1) / 2)) << threads;
+  }
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::atomic<int> count{0};
+  ParallelFor(
+      3, [&](size_t begin, size_t end, int) {
+        count += static_cast<int>(end - begin);
+      },
+      /*threads=*/16);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(DefaultThreadCount, IsPositiveAndBounded) {
+  const int t = DefaultThreadCount();
+  EXPECT_GE(t, 1);
+  EXPECT_LE(t, 8);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,117 @@
+#include "core/proximity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+constexpr int64_t kWindow = 900;  // 15 min
+
+ProximityConfig DefaultProx() { return ProximityConfig{}; }
+
+TEST(Runaway, PaperDefaultIs30KmFor15MinWindows) {
+  // 2 km/min * 15 min = 30 km.
+  EXPECT_NEAR(RunawayMeters(DefaultProx(), kWindow), 30000.0, 1e-6);
+}
+
+TEST(SpatialProximity, SameCellScoresOne) {
+  EXPECT_DOUBLE_EQ(SpatialProximity(0.0, 30000.0, 1e-6), 1.0);
+}
+
+TEST(SpatialProximity, ZeroAtRunawayDistance) {
+  EXPECT_NEAR(SpatialProximity(30000.0, 30000.0, 1e-6), 0.0, 1e-12);
+}
+
+TEST(SpatialProximity, NegativeBeyondRunaway) {
+  EXPECT_LT(SpatialProximity(30001.0, 30000.0, 1e-6), 0.0);
+  EXPECT_LT(SpatialProximity(45000.0, 30000.0, 1e-6), -0.9);
+}
+
+TEST(SpatialProximity, MonotoneDecreasingThenClamped) {
+  // Strictly decreasing up to the clamp point (~2R), flat at the floor
+  // beyond it.
+  double prev = 2.0;
+  for (double d = 0.0; d < 59000.0; d += 1000.0) {
+    const double p = SpatialProximity(d, 30000.0, 1e-6);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  const double floor = SpatialProximity(60000.0, 30000.0, 1e-6);
+  for (double d = 60000.0; d <= 100000.0; d += 10000.0) {
+    EXPECT_DOUBLE_EQ(SpatialProximity(d, 30000.0, 1e-6), floor);
+  }
+}
+
+TEST(SpatialProximity, ClampBoundsThePenalty) {
+  // At and beyond 2R the value clamps to log2(eps) instead of -inf.
+  const double floor = std::log2(1e-6);
+  EXPECT_NEAR(SpatialProximity(60000.0, 30000.0, 1e-6), floor, 1e-9);
+  EXPECT_NEAR(SpatialProximity(1e12, 30000.0, 1e-6), floor, 1e-9);
+  EXPECT_TRUE(std::isfinite(SpatialProximity(1e12, 30000.0, 1e-6)));
+}
+
+TEST(SpatialProximity, HalfwayPointMatchesFormula) {
+  // d = R/2 -> log2(1.5).
+  EXPECT_NEAR(SpatialProximity(15000.0, 30000.0, 1e-6), std::log2(1.5),
+              1e-12);
+}
+
+TEST(SpatialProximity, SteeperSlopeNearRunaway) {
+  // The paper: value decreases "with an increasing slope" toward R.
+  const double r = 30000.0;
+  const double d1 = SpatialProximity(0.0, r, 1e-6) -
+                    SpatialProximity(0.1 * r, r, 1e-6);
+  const double d2 = SpatialProximity(0.8 * r, r, 1e-6) -
+                    SpatialProximity(0.9 * r, r, 1e-6);
+  EXPECT_GT(d2, d1);
+}
+
+TEST(BinProximity, DifferentWindowsScoreZero) {
+  const CellId c = CellId::FromLatLng({37.7, -122.4}, 12);
+  const TimeLocationBin e{0, c, 1};
+  const TimeLocationBin i{1, c, 1};
+  EXPECT_DOUBLE_EQ(BinProximity(e, i, DefaultProx(), kWindow), 0.0);
+}
+
+TEST(BinProximity, SameWindowSameCellScoresOne) {
+  const CellId c = CellId::FromLatLng({37.7, -122.4}, 12);
+  const TimeLocationBin e{3, c, 1};
+  const TimeLocationBin i{3, c, 5};
+  EXPECT_DOUBLE_EQ(BinProximity(e, i, DefaultProx(), kWindow), 1.0);
+}
+
+TEST(BinProximity, AlibiCellsScoreNegative) {
+  // Two cells ~100 km apart within one 15-minute window: a clear alibi.
+  const TimeLocationBin e{3, CellId::FromLatLng({37.7, -122.4}, 12), 1};
+  const TimeLocationBin i{3, CellId::FromLatLng({38.6, -122.4}, 12), 1};
+  EXPECT_LT(BinProximity(e, i, DefaultProx(), kWindow), 0.0);
+}
+
+TEST(BinProximity, NearbyCellsScoreBetweenZeroAndOne) {
+  // ~10 km apart: within the 30 km runaway, positive but below 1.
+  const TimeLocationBin e{3, CellId::FromLatLng({37.70, -122.40}, 12), 1};
+  const TimeLocationBin i{3, CellId::FromLatLng({37.79, -122.40}, 12), 1};
+  const double p = BinProximity(e, i, DefaultProx(), kWindow);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(IsAlibi, ThresholdAtRunaway) {
+  EXPECT_FALSE(IsAlibi(29999.0, 30000.0));
+  EXPECT_FALSE(IsAlibi(30000.0, 30000.0));
+  EXPECT_TRUE(IsAlibi(30000.1, 30000.0));
+}
+
+TEST(Runaway, WiderWindowsTolerateLargerDistances) {
+  const ProximityConfig cfg = DefaultProx();
+  EXPECT_LT(RunawayMeters(cfg, 300), RunawayMeters(cfg, 900));
+  EXPECT_LT(RunawayMeters(cfg, 900), RunawayMeters(cfg, 3600));
+  // A 40 km hop is an alibi for 15-min windows, fine for 6-hour windows.
+  EXPECT_LT(SpatialProximity(40000.0, RunawayMeters(cfg, 900), 1e-6), 0.0);
+  EXPECT_GT(SpatialProximity(40000.0, RunawayMeters(cfg, 21600), 1e-6), 0.0);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,168 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NextUint64Unbiased) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextUint64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NextInt64CoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt64(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfFavorsSmallIndices) {
+  Rng rng(31);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = rng.NextZipf(20, 1.0);
+    ASSERT_LT(k, 20u);
+    ++counts[k];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[19]);
+  // Rough Zipf check: p(0)/p(1) ~ 2.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.5);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(37);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(5, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(41);
+  const int n = 50000;
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) total += rng.NextPoisson(6.5);
+  EXPECT_NEAR(static_cast<double>(total) / n, 6.5, 0.1);
+  // Large-mean branch (normal approximation).
+  total = 0;
+  for (int i = 0; i < n; ++i) total += rng.NextPoisson(100.0);
+  EXPECT_NEAR(static_cast<double>(total) / n, 100.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent1(99), parent2(99);
+  Rng fork_a = parent1.Fork(0);
+  Rng fork_b = parent1.Fork(1);
+  Rng fork_a2 = parent2.Fork(0);
+  // Same stream id from same seed reproduces.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork_a.Next(), fork_a2.Next());
+  // Different stream ids diverge.
+  Rng fork_a3 = parent2.Fork(0);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fork_a3.Next() == fork_b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,206 @@
+#include "data/sampler.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+// Master dataset: `entities` entities with `records_each` records spread
+// over distinct times/places.
+LocationDataset MakeMaster(int entities, int records_each) {
+  LocationDataset ds("master");
+  Rng rng(77);
+  for (int e = 0; e < entities; ++e) {
+    for (int r = 0; r < records_each; ++r) {
+      ds.Add(e, testing::RandomPointInBox(&rng),
+             static_cast<int64_t>(r) * 600 + e);
+    }
+  }
+  ds.Finalize();
+  return ds;
+}
+
+TEST(Sampler, RejectsBadParameters) {
+  const LocationDataset master = MakeMaster(10, 20);
+  PairSampleOptions opt;
+  opt.intersection_ratio = 1.5;
+  EXPECT_FALSE(SampleLinkedPair(master, opt).ok());
+  opt.intersection_ratio = 0.5;
+  opt.inclusion_probability = 0.0;
+  EXPECT_FALSE(SampleLinkedPair(master, opt).ok());
+}
+
+TEST(Sampler, RejectsWhenMasterTooSmall) {
+  const LocationDataset master = MakeMaster(10, 20);
+  PairSampleOptions opt;
+  opt.entities_per_side = 8;
+  opt.intersection_ratio = 0.0;  // would need 16 entities
+  EXPECT_FALSE(SampleLinkedPair(master, opt).ok());
+}
+
+TEST(Sampler, ProducesRequestedIntersection) {
+  const LocationDataset master = MakeMaster(100, 40);
+  for (double rho : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+    PairSampleOptions opt;
+    opt.entities_per_side = 40;
+    opt.intersection_ratio = rho;
+    opt.inclusion_probability = 1.0;
+    opt.min_records = 0;
+    auto s = SampleLinkedPair(master, opt);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    EXPECT_EQ(s->a.num_entities(), 40u);
+    EXPECT_EQ(s->b.num_entities(), 40u);
+    EXPECT_EQ(s->truth.size(),
+              static_cast<size_t>(std::llround(rho * 40)));
+  }
+}
+
+TEST(Sampler, GroundTruthPairsExistInBothSides) {
+  const LocationDataset master = MakeMaster(60, 30);
+  PairSampleOptions opt;
+  opt.entities_per_side = 25;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  for (const auto& [a, b] : s->truth.a_to_b) {
+    EXPECT_TRUE(s->a.ContainsEntity(a));
+    EXPECT_TRUE(s->b.ContainsEntity(b));
+  }
+}
+
+TEST(Sampler, TruthIsOneToOne) {
+  const LocationDataset master = MakeMaster(60, 30);
+  PairSampleOptions opt;
+  opt.entities_per_side = 25;
+  opt.intersection_ratio = 0.8;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  std::unordered_set<EntityId> bs;
+  for (const auto& [a, b] : s->truth.a_to_b) {
+    EXPECT_TRUE(bs.insert(b).second) << "duplicate b " << b;
+  }
+}
+
+TEST(Sampler, InclusionProbabilityThinsRecords) {
+  const LocationDataset master = MakeMaster(40, 100);
+  PairSampleOptions opt;
+  opt.entities_per_side = 15;
+  opt.min_records = 0;
+
+  opt.inclusion_probability = 1.0;
+  auto dense = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_NEAR(dense->a.AvgRecordsPerEntity(), 100.0, 1e-9);
+
+  opt.inclusion_probability = 0.3;
+  auto sparse = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_NEAR(sparse->a.AvgRecordsPerEntity(), 30.0, 5.0);
+  EXPECT_NEAR(sparse->b.AvgRecordsPerEntity(), 30.0, 5.0);
+}
+
+TEST(Sampler, SidesDrawRecordsIndependently) {
+  const LocationDataset master = MakeMaster(10, 200);
+  PairSampleOptions opt;
+  opt.entities_per_side = 5;
+  opt.intersection_ratio = 1.0;
+  opt.inclusion_probability = 0.5;
+  opt.min_records = 0;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  // With p=0.5 drawn independently, the two sides of a common entity share
+  // ~25% of master records; identical record sets would indicate correlated
+  // draws. Compare timestamp multisets of one truth pair.
+  const auto [a, b] = *s->truth.a_to_b.begin();
+  std::unordered_set<int64_t> ta;
+  for (const auto& r : s->a.RecordsOf(a)) ta.insert(r.timestamp);
+  size_t shared = 0;
+  const auto rb = s->b.RecordsOf(b);
+  for (const auto& r : rb) shared += ta.count(r.timestamp);
+  EXPECT_LT(shared, rb.size());  // not a subset/copy
+  EXPECT_GT(shared, 0u);         // but overlapping
+}
+
+TEST(Sampler, MinRecordsFilterApplies) {
+  const LocationDataset master = MakeMaster(50, 8);
+  PairSampleOptions opt;
+  opt.entities_per_side = 20;
+  opt.inclusion_probability = 0.4;  // expect ~3.2 records/entity
+  opt.min_records = 6;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  for (EntityId e : s->a.entity_ids()) {
+    EXPECT_GE(s->a.RecordsOf(e).size(), 6u);
+  }
+}
+
+TEST(Sampler, DeterministicForSameSeed) {
+  const LocationDataset master = MakeMaster(40, 20);
+  PairSampleOptions opt;
+  opt.entities_per_side = 15;
+  opt.seed = 9;
+  auto s1 = SampleLinkedPair(master, opt);
+  auto s2 = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->a.records(), s2->a.records());
+  EXPECT_EQ(s1->b.records(), s2->b.records());
+  EXPECT_EQ(s1->truth.a_to_b, s2->truth.a_to_b);
+}
+
+TEST(Sampler, DifferentSeedsDiffer) {
+  const LocationDataset master = MakeMaster(40, 20);
+  PairSampleOptions opt;
+  opt.entities_per_side = 15;
+  opt.seed = 9;
+  auto s1 = SampleLinkedPair(master, opt);
+  opt.seed = 10;
+  auto s2 = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(s1->a.records(), s2->a.records());
+}
+
+TEST(Sampler, AutoSizeUsesWholePool) {
+  const LocationDataset master = MakeMaster(30, 10);
+  PairSampleOptions opt;
+  opt.entities_per_side = 0;  // auto
+  opt.intersection_ratio = 0.5;
+  opt.inclusion_probability = 1.0;
+  opt.min_records = 0;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  // n = 20, c = 10 -> 2n - c = 30 exactly.
+  EXPECT_EQ(s->a.num_entities(), 20u);
+  EXPECT_EQ(s->b.num_entities(), 20u);
+  EXPECT_EQ(s->truth.size(), 10u);
+}
+
+TEST(Sampler, LocationNoisePerturbsPositions) {
+  const LocationDataset master = MakeMaster(10, 50);
+  PairSampleOptions opt;
+  opt.entities_per_side = 5;
+  opt.intersection_ratio = 1.0;
+  opt.inclusion_probability = 1.0;
+  opt.min_records = 0;
+  opt.location_noise_meters = 100.0;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok());
+  // Positions should no longer exactly match master records.
+  bool any_moved = false;
+  for (const auto& r : s->a.records()) {
+    for (const auto& m : master.records()) {
+      if (m.timestamp == r.timestamp && m.location == r.location) goto next;
+    }
+    any_moved = true;
+    break;
+  next:;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+}  // namespace
+}  // namespace slim

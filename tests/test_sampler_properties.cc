@@ -1,0 +1,105 @@
+// Property sweep over the experiment sampler's parameter grid: for every
+// (intersection ratio, inclusion probability) combination the structural
+// invariants of Sec. 5.1 must hold.
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sampler.h"
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+const LocationDataset& Master() {
+  static const LocationDataset ds = [] {
+    LocationDataset master("master");
+    Rng rng(500);
+    for (EntityId e = 0; e < 90; ++e) {
+      for (int r = 0; r < 60; ++r) {
+        master.Add(e, testing::RandomPointInBox(&rng),
+                   rng.NextInt64(0, 86400 * 3));
+      }
+    }
+    master.Finalize();
+    return master;
+  }();
+  return ds;
+}
+
+struct GridPoint {
+  double rho;
+  double p;
+};
+
+class SamplerGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(SamplerGrid, StructuralInvariantsHold) {
+  const GridPoint g = GetParam();
+  PairSampleOptions opt;
+  opt.entities_per_side = 30;
+  opt.intersection_ratio = g.rho;
+  opt.inclusion_probability = g.p;
+  opt.min_records = 0;
+  opt.seed = 77;
+  auto s = SampleLinkedPair(Master(), opt);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  // Side sizes and truth size as requested.
+  EXPECT_EQ(s->a.num_entities(), 30u);
+  EXPECT_EQ(s->b.num_entities(), 30u);
+  EXPECT_EQ(s->truth.size(),
+            static_cast<size_t>(std::llround(g.rho * 30)));
+
+  // Truth maps existing entities one-to-one.
+  std::unordered_set<EntityId> seen_b;
+  for (const auto& [a, b] : s->truth.a_to_b) {
+    EXPECT_TRUE(s->a.ContainsEntity(a));
+    EXPECT_TRUE(s->b.ContainsEntity(b));
+    EXPECT_TRUE(seen_b.insert(b).second);
+  }
+
+  // Record volume ~ Binomial(60, p) per entity per side.
+  const double expected = 60.0 * g.p;
+  EXPECT_NEAR(s->a.AvgRecordsPerEntity(), expected,
+              std::max(3.0, expected * 0.25));
+  EXPECT_NEAR(s->b.AvgRecordsPerEntity(), expected,
+              std::max(3.0, expected * 0.25));
+
+  // Every emitted record's timestamp exists in the master (modulo the
+  // perturbations, which are off here).
+  std::unordered_set<int64_t> master_ts;
+  for (const Record& r : Master().records()) master_ts.insert(r.timestamp);
+  for (const Record& r : s->a.records()) {
+    EXPECT_TRUE(master_ts.count(r.timestamp)) << r.timestamp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplerGrid,
+    ::testing::Values(GridPoint{0.0, 0.5}, GridPoint{0.3, 0.1},
+                      GridPoint{0.3, 0.9}, GridPoint{0.5, 0.3},
+                      GridPoint{0.5, 0.5}, GridPoint{0.7, 0.7},
+                      GridPoint{0.9, 0.5}, GridPoint{1.0, 1.0}));
+
+TEST(SamplerGridExtra, FullIntersectionFullInclusionPreservesEverything) {
+  PairSampleOptions opt;
+  opt.entities_per_side = 45;
+  opt.intersection_ratio = 1.0;
+  opt.inclusion_probability = 1.0;
+  opt.min_records = 0;
+  auto s = SampleLinkedPair(Master(), opt);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->truth.size(), 45u);
+  // Both sides carry the full record load of their entities.
+  EXPECT_DOUBLE_EQ(s->a.AvgRecordsPerEntity(), 60.0);
+  EXPECT_DOUBLE_EQ(s->b.AvgRecordsPerEntity(), 60.0);
+  // With rho = 1 both sides host the same master entities: total record
+  // counts match exactly.
+  EXPECT_EQ(s->a.num_records(), s->b.num_records());
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,295 @@
+// Tests of the similarity score S (Eq. 2), organised around the five
+// desired properties of Sec. 3.1 plus Alg. 1's MFN alibi pass.
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+constexpr int64_t kWindow = 900;
+
+// Anchor points inside the SF box (level-12 cells ~4.9 km of latitude).
+const LatLng kHome{37.700, -122.450};
+// ~10 km north: one level-12 cell of gap, so the minimum cell distance is
+// ~5 km — positive (adjacent cells would give distance 0) yet well inside
+// the 30 km runaway.
+const LatLng kNearby{37.790, -122.450};
+const LatLng kFarCity{38.600, -122.450};  // ~100 km north: alibi territory
+
+HistoryConfig Config() {
+  HistoryConfig c;
+  c.spatial_level = 12;
+  c.window_seconds = kWindow;
+  return c;
+}
+
+SimilarityConfig Bare() {
+  // Proximity-only scoring: no idf, no normalisation, no MFN.
+  SimilarityConfig c;
+  c.use_idf = false;
+  c.use_normalization = false;
+  c.use_mfn = false;
+  return c;
+}
+
+// One record per listed (window, location).
+LocationDataset MakeDataset(
+    const char* name,
+    const std::vector<std::pair<EntityId,
+                                std::vector<std::pair<int, LatLng>>>>& spec) {
+  LocationDataset ds(name);
+  for (const auto& [entity, bins] : spec) {
+    for (const auto& [w, loc] : bins) {
+      ds.Add(entity, loc, static_cast<int64_t>(w) * kWindow + 450);
+    }
+  }
+  ds.Finalize();
+  return ds;
+}
+
+double ScorePair(const LocationDataset& e, const LocationDataset& i,
+                 const SimilarityConfig& cfg, EntityId u, EntityId v,
+                 SimilarityStats* stats_out = nullptr) {
+  const HistorySet se = HistorySet::Build(e, Config());
+  const HistorySet si = HistorySet::Build(i, Config());
+  const SimilarityEngine engine(se, si, cfg);
+  SimilarityStats stats;
+  const double s = engine.Score(u, v, &stats);
+  if (stats_out != nullptr) *stats_out = stats;
+  return s;
+}
+
+// ---- Property 1: award matching of close time-location bins. ----
+
+TEST(Similarity, ExactCoLocationScoresHigherThanNearby) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto same = MakeDataset("I", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto near = MakeDataset("I", {{0, {{0, kNearby}, {1, kNearby}}}});
+  const double s_same = ScorePair(e, same, Bare(), 0, 0);
+  const double s_near = ScorePair(e, near, Bare(), 0, 0);
+  EXPECT_GT(s_same, s_near);
+  EXPECT_GT(s_near, 0.0);  // close bins still contribute positively
+  // Two exact matches, proximity 1 each, no scaling -> score 2.
+  EXPECT_NEAR(s_same, 2.0, 1e-9);
+}
+
+TEST(Similarity, MoreMatchingWindowsMeansHigherScore) {
+  const auto e3 = MakeDataset(
+      "E", {{0, {{0, kHome}, {1, kHome}, {2, kHome}}}});
+  const auto i3 = MakeDataset(
+      "I", {{0, {{0, kHome}, {1, kHome}, {2, kHome}}}});
+  const auto i1 = MakeDataset("I", {{0, {{0, kHome}}}});
+  EXPECT_GT(ScorePair(e3, i3, Bare(), 0, 0), ScorePair(e3, i1, Bare(), 0, 0));
+}
+
+// ---- Property 2: tolerate temporal asynchrony. ----
+
+TEST(Similarity, UnmatchedWindowsDoNotPenalize) {
+  // v2 has extra activity in windows u never saw; with scaling disabled the
+  // score must be identical to the perfectly-aligned v1.
+  const auto e = MakeDataset("E", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto aligned = MakeDataset("I", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto async = MakeDataset(
+      "I",
+      {{0, {{0, kHome}, {1, kHome}, {5, kNearby}, {6, kNearby}, {7, kHome}}}});
+  EXPECT_DOUBLE_EQ(ScorePair(e, aligned, Bare(), 0, 0),
+                   ScorePair(e, async, Bare(), 0, 0));
+}
+
+TEST(Similarity, DisjointWindowsScoreZeroNotNegative) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto i = MakeDataset("I", {{0, {{10, kHome}, {11, kHome}}}});
+  EXPECT_DOUBLE_EQ(ScorePair(e, i, Bare(), 0, 0), 0.0);
+}
+
+// ---- Property 3: penalize alibi time-location bins. ----
+
+TEST(Similarity, AlibiWindowReducesScore) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}, {1, kHome}}}});
+  const auto clean = MakeDataset("I", {{0, {{0, kHome}}}});
+  const auto alibi = MakeDataset("I", {{0, {{0, kHome}, {1, kFarCity}}}});
+  SimilarityStats stats;
+  const double s_clean = ScorePair(e, clean, Bare(), 0, 0);
+  const double s_alibi = ScorePair(e, alibi, Bare(), 0, 0, &stats);
+  EXPECT_LT(s_alibi, s_clean);
+  EXPECT_GT(stats.alibi_pairs, 0u);
+}
+
+TEST(Similarity, PureAlibiPairScoresNegative) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kFarCity}}}});
+  EXPECT_LT(ScorePair(e, i, Bare(), 0, 0), 0.0);
+}
+
+// ---- Alg. 1's MFN pass: catch alibis that MNN pairing misses. ----
+
+TEST(Similarity, MfnCatchesAlibiHiddenByNearestPairing) {
+  // The paper's example: u has one bin; v has a close bin AND a far (alibi)
+  // bin in the same window. MNN alone pairs only the close one.
+  const auto e = MakeDataset("E", {{0, {{0, kHome}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kHome}, {0, kFarCity}}}});
+
+  SimilarityConfig no_mfn = Bare();
+  SimilarityConfig with_mfn = Bare();
+  with_mfn.use_mfn = true;
+
+  const double s_plain = ScorePair(e, i, no_mfn, 0, 0);
+  SimilarityStats stats;
+  const double s_mfn = ScorePair(e, i, with_mfn, 0, 0, &stats);
+  EXPECT_DOUBLE_EQ(s_plain, 1.0);  // only the exact match counted
+  EXPECT_LT(s_mfn, s_plain);       // alibi pulled the score down
+  EXPECT_GT(stats.alibi_pairs, 0u);
+}
+
+TEST(Similarity, MfnAddsNothingWhenNoAlibiExists) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kHome}, {0, kNearby}}}});
+  SimilarityConfig no_mfn = Bare();
+  SimilarityConfig with_mfn = Bare();
+  with_mfn.use_mfn = true;
+  // The furthest pair is within the runaway distance: delta >= 0, skipped.
+  EXPECT_DOUBLE_EQ(ScorePair(e, i, no_mfn, 0, 0),
+                   ScorePair(e, i, with_mfn, 0, 0));
+}
+
+// ---- Property 4: award infrequent cells (IDF). ----
+
+TEST(Similarity, RareBinsContributeMoreThanCommonBins) {
+  // 10 entities per side; entity 0 visits a unique cell, entities 1..9 all
+  // share one cell. The rare-cell pair must outscore a common-cell pair.
+  std::vector<std::pair<EntityId, std::vector<std::pair<int, LatLng>>>> spec;
+  spec.push_back({0, {{0, kFarCity}}});
+  for (EntityId u = 1; u <= 9; ++u) spec.push_back({u, {{0, kHome}}});
+  const auto e = MakeDataset("E", spec);
+  const auto i = MakeDataset("I", spec);
+
+  SimilarityConfig cfg = Bare();
+  cfg.use_idf = true;
+  const double s_rare = ScorePair(e, i, cfg, 0, 0);
+  const double s_common = ScorePair(e, i, cfg, 1, 1);
+  EXPECT_GT(s_rare, s_common);
+  // Exact values: idf_rare = log(10/1), idf_common = log(10/9).
+  EXPECT_NEAR(s_rare, std::log(10.0), 1e-9);
+  EXPECT_NEAR(s_common, std::log(10.0 / 9.0), 1e-9);
+}
+
+TEST(Similarity, CrossDatasetIdfTakesTheMinimum) {
+  // The cell is rare in E (1 of 3) but ubiquitous in I (3 of 3): the
+  // contribution must use I's lower idf.
+  const auto e = MakeDataset(
+      "E", {{0, {{0, kHome}}}, {1, {{0, kNearby}}}, {2, {{0, kFarCity}}}});
+  const auto i = MakeDataset(
+      "I", {{0, {{0, kHome}}}, {1, {{0, kHome}}}, {2, {{0, kHome}}}});
+  SimilarityConfig cfg = Bare();
+  cfg.use_idf = true;
+  // idf(E) = log(3), idf(I) = log(1) = 0 -> min = 0 -> score 0.
+  EXPECT_NEAR(ScorePair(e, i, cfg, 0, 0), 0.0, 1e-12);
+}
+
+// ---- Property 5: normalize by history size. ----
+
+TEST(Similarity, LongHistoriesAreNormalizedDown) {
+  // Entities 0 (short) and 1 (long) have the same single match with their
+  // counterpart; with b = 1 the long history's score shrinks.
+  const auto e = MakeDataset(
+      "E", {{0, {{0, kHome}}},
+            {1, {{0, kHome}, {10, kNearby}, {11, kNearby}, {12, kNearby},
+                 {13, kNearby}, {14, kNearby}, {15, kNearby}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kHome}}}, {1, {{0, kHome}}}});
+
+  SimilarityConfig cfg = Bare();
+  cfg.use_normalization = true;
+  cfg.b = 1.0;
+  const double s_short = ScorePair(e, i, cfg, 0, 0);
+  const double s_long = ScorePair(e, i, cfg, 1, 1);
+  EXPECT_GT(s_short, s_long);
+
+  // With b = 0 the normalisation vanishes and both pairs tie.
+  cfg.b = 0.0;
+  EXPECT_DOUBLE_EQ(ScorePair(e, i, cfg, 0, 0), ScorePair(e, i, cfg, 1, 1));
+}
+
+// ---- Pairing ablation and engine mechanics. ----
+
+TEST(Similarity, AllPairsOvercountsSharedWindows) {
+  // u and v both have 2 co-located bins in one window: MNN counts 2 pairs,
+  // the Cartesian product counts 4.
+  const auto e = MakeDataset("E", {{0, {{0, kHome}, {0, kNearby}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kHome}, {0, kNearby}}}});
+  SimilarityConfig mnn = Bare();
+  SimilarityConfig all = Bare();
+  all.pairing = PairingKind::kAllPairs;
+  EXPECT_GT(ScorePair(e, i, all, 0, 0), ScorePair(e, i, mnn, 0, 0));
+}
+
+TEST(Similarity, ScoreIsSymmetricUnderSideSwap) {
+  const auto e = MakeDataset(
+      "E", {{0, {{0, kHome}, {1, kNearby}, {3, kHome}}},
+            {1, {{0, kFarCity}}}});
+  const auto i = MakeDataset(
+      "I", {{5, {{0, kHome}, {1, kHome}, {2, kNearby}}},
+            {6, {{3, kNearby}}}});
+  const HistorySet se = HistorySet::Build(e, Config());
+  const HistorySet si = HistorySet::Build(i, Config());
+  SimilarityConfig cfg;  // full scoring, defaults
+  const SimilarityEngine fwd(se, si, cfg);
+  const SimilarityEngine rev(si, se, cfg);
+  SimilarityStats st;
+  for (EntityId u : {0, 1}) {
+    for (EntityId v : {5, 6}) {
+      EXPECT_NEAR(fwd.Score(u, v, &st), rev.Score(v, u, &st), 1e-12)
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(Similarity, UnknownEntitiesScoreZero) {
+  const auto e = MakeDataset("E", {{0, {{0, kHome}}}});
+  const auto i = MakeDataset("I", {{0, {{0, kHome}}}});
+  const HistorySet se = HistorySet::Build(e, Config());
+  const HistorySet si = HistorySet::Build(i, Config());
+  const SimilarityEngine engine(se, si, SimilarityConfig{});
+  SimilarityStats st;
+  EXPECT_DOUBLE_EQ(engine.Score(99, 0, &st), 0.0);
+  EXPECT_DOUBLE_EQ(engine.Score(0, 99, &st), 0.0);
+}
+
+TEST(Similarity, RecordComparisonCounterMatchesBinProducts) {
+  // Window 0: 2x2 bins; window 1: 1x1 -> 5 comparisons.
+  const auto e = MakeDataset(
+      "E", {{0, {{0, kHome}, {0, kNearby}, {1, kHome}}}});
+  const auto i = MakeDataset(
+      "I", {{0, {{0, kHome}, {0, kFarCity}, {1, kNearby}}}});
+  SimilarityStats stats;
+  ScorePair(e, i, Bare(), 0, 0, &stats);
+  EXPECT_EQ(stats.record_comparisons, 5u);
+  EXPECT_EQ(stats.entity_pairs, 1u);
+}
+
+TEST(Similarity, SelfScoreIsPositiveAndMaximalForAnchoredEntities) {
+  Rng rng(9);
+  std::vector<LatLng> anchors;
+  for (int k = 0; k < 6; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  const LocationDataset ds =
+      testing::MakeAnchoredDataset(anchors, 10, kWindow);
+  const HistorySet set = HistorySet::Build(ds, Config());
+  const SimilarityEngine engine(set, set, SimilarityConfig{});
+  SimilarityStats st;
+  for (const auto& h : set.histories()) {
+    const double self = engine.SelfScore(h, set, &st);
+    EXPECT_GT(self, 0.0);
+    for (const auto& other : set.histories()) {
+      if (other.entity() == h.entity()) continue;
+      EXPECT_GE(self,
+                engine.ScoreHistories(h, set, other, set, &st) - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slim

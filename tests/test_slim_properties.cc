@@ -1,0 +1,167 @@
+// Parameterised end-to-end property sweeps over SLIM's configuration
+// space: whatever the knobs, the pipeline must stay healthy (valid
+// one-to-one matching, positive edge weights, deterministic) and the
+// quality must stay high on an easy, well-separated workload.
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/slim.h"
+#include "data/cab_generator.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+
+namespace slim {
+namespace {
+
+const LinkedPairSample& EasySample() {
+  static const LinkedPairSample sample = [] {
+    CabGeneratorOptions gopt;
+    gopt.num_taxis = 36;
+    gopt.duration_days = 2.0;
+    gopt.record_interval_seconds = 300.0;
+    gopt.seed = 99;
+    const LocationDataset master = GenerateCabDataset(gopt);
+    PairSampleOptions opt;
+    opt.entities_per_side = 18;
+    opt.inclusion_probability = 0.6;
+    opt.seed = 5;
+    auto s = SampleLinkedPair(master, opt);
+    SLIM_CHECK(s.ok());
+    return std::move(s.value());
+  }();
+  return sample;
+}
+
+void ExpectHealthy(const LinkageResult& r) {
+  EXPECT_TRUE(r.matching.IsValidMatching());
+  std::unordered_set<EntityId> us, vs;
+  for (const auto& link : r.links) {
+    EXPECT_TRUE(us.insert(link.u).second);
+    EXPECT_TRUE(vs.insert(link.v).second);
+    EXPECT_GT(link.score, 0.0);
+  }
+  for (const auto& e : r.graph.edges()) EXPECT_GT(e.weight, 0.0);
+  EXPECT_LE(r.links.size(), r.matching.pairs.size());
+  EXPECT_LE(r.candidate_pairs, r.possible_pairs);
+}
+
+// --- b parameter sweep (Eq. 2). ---
+
+class BParamSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BParamSweep, HealthyAndAccurate) {
+  SlimConfig cfg;
+  cfg.use_lsh = false;
+  cfg.threads = 2;
+  cfg.similarity.b = GetParam();
+  auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  ASSERT_TRUE(r.ok());
+  ExpectHealthy(*r);
+  EXPECT_GE(EvaluateLinks(r->links, EasySample().truth).f1, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(B, BParamSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// --- Threshold method sweep. ---
+
+class ThresholdMethodSweep
+    : public ::testing::TestWithParam<ThresholdMethod> {};
+
+TEST_P(ThresholdMethodSweep, HealthyAndAccurate) {
+  SlimConfig cfg;
+  cfg.use_lsh = false;
+  cfg.threads = 2;
+  cfg.threshold_method = GetParam();
+  auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  ASSERT_TRUE(r.ok());
+  ExpectHealthy(*r);
+  EXPECT_GE(EvaluateLinks(r->links, EasySample().truth).f1, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ThresholdMethodSweep,
+                         ::testing::Values(ThresholdMethod::kGmmExpectedF1,
+                                           ThresholdMethod::kOtsu,
+                                           ThresholdMethod::kTwoMeans));
+
+// --- Region-record radius sweep (Sec. 2.1 extension). ---
+
+class RegionRadiusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegionRadiusSweep, HealthyAndAccurate) {
+  SlimConfig cfg;
+  cfg.use_lsh = false;
+  cfg.threads = 2;
+  cfg.history.spatial_level = 13;
+  cfg.history.region_radius_meters = GetParam();
+  auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  ASSERT_TRUE(r.ok());
+  ExpectHealthy(*r);
+  EXPECT_GE(EvaluateLinks(r->links, EasySample().truth).f1, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radius, RegionRadiusSweep,
+                         ::testing::Values(0.0, 500.0, 2500.0));
+
+// --- Max-speed (alibi) sweep: tighter speed limits must never produce an
+// invalid pipeline, and overly tight ones may only reduce scores. ---
+
+class SpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedSweep, HealthyAtAnySpeedLimit) {
+  SlimConfig cfg;
+  cfg.use_lsh = false;
+  cfg.threads = 2;
+  cfg.similarity.proximity.max_speed_mps = GetParam();
+  auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  ASSERT_TRUE(r.ok());
+  ExpectHealthy(*r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, SpeedSweep,
+                         ::testing::Values(5.0, 16.7, 33.3, 100.0));
+
+// --- Cross-config determinism: same config -> bit-identical links. ---
+
+TEST(SlimDeterminism, RepeatedRunsAreIdentical) {
+  SlimConfig cfg;
+  cfg.use_lsh = true;
+  cfg.threads = 2;
+  auto r1 = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  auto r2 = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->links.size(), r2->links.size());
+  for (size_t k = 0; k < r1->links.size(); ++k) {
+    EXPECT_EQ(r1->links[k], r2->links[k]);
+  }
+  EXPECT_EQ(r1->stats.record_comparisons, r2->stats.record_comparisons);
+  EXPECT_EQ(r1->candidate_pairs, r2->candidate_pairs);
+}
+
+// --- Dataset-order invariance: Link(A, B) and Link(B, A) agree on the
+// pair set (scores are symmetric; only the orientation flips). ---
+
+TEST(SlimSymmetry, SwappingSidesPreservesThePairSet) {
+  SlimConfig cfg;
+  cfg.use_lsh = false;
+  cfg.threads = 2;
+  auto fwd = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
+  auto rev = SlimLinker(cfg).Link(EasySample().b, EasySample().a);
+  ASSERT_TRUE(fwd.ok() && rev.ok());
+  std::unordered_set<uint64_t> fwd_pairs;
+  for (const auto& link : fwd->links) {
+    fwd_pairs.insert((static_cast<uint64_t>(link.u) << 32) |
+                     static_cast<uint32_t>(link.v));
+  }
+  EXPECT_EQ(fwd->links.size(), rev->links.size());
+  for (const auto& link : rev->links) {
+    EXPECT_TRUE(fwd_pairs.count((static_cast<uint64_t>(link.v) << 32) |
+                                static_cast<uint32_t>(link.u)))
+        << "pair " << link.v << "," << link.u << " missing in forward run";
+  }
+}
+
+}  // namespace
+}  // namespace slim

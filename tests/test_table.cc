@@ -1,0 +1,39 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long_name", "12345"});
+  const std::string s = t.ToString();
+  // Header, separator, two rows.
+  size_t lines = 0;
+  for (char c : s) lines += (c == '\n');
+  EXPECT_EQ(lines, 4u);
+  // Every line has the same on-screen width up to trailing content.
+  EXPECT_NE(s.find("long_name  12345"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TablePrinter, HeaderOnlyTable) {
+  TablePrinter t({"col"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, DiesOnRowWidthMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only_one"}), "row width");
+}
+
+TEST(TablePrinter, DiesOnEmptyHeader) {
+  EXPECT_DEATH(TablePrinter({}), "at least one column");
+}
+
+}  // namespace
+}  // namespace slim

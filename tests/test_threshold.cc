@@ -1,0 +1,132 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+// Matched-edge weights shaped like Fig. 2: a low false-positive mode and a
+// high true-positive mode.
+std::vector<double> BimodalWeights(double fp_mean, double tp_mean, int n_fp,
+                                   int n_tp, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w;
+  for (int i = 0; i < n_fp; ++i) {
+    w.push_back(fp_mean + rng.NextGaussian() * fp_mean * 0.2);
+  }
+  for (int i = 0; i < n_tp; ++i) {
+    w.push_back(tp_mean + rng.NextGaussian() * tp_mean * 0.15);
+  }
+  return w;
+}
+
+TEST(Threshold, GmmF1SeparatesTheTwoModes) {
+  const auto w = BimodalWeights(200.0, 4000.0, 120, 130, 1);
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  // Past the FP mode's bulk (200 +/- 40) and before the TP mode's
+  // (4000 +/- 600).
+  EXPECT_GT(d->threshold, 280.0);
+  EXPECT_LT(d->threshold, 2800.0);
+  EXPECT_GT(d->expected_f1, 0.9);
+  EXPECT_GT(d->expected_precision, 0.9);
+  EXPECT_GT(d->expected_recall, 0.9);
+  ASSERT_EQ(d->gmm.components.size(), 2u);
+  EXPECT_LT(d->gmm.components[0].mean, d->gmm.components[1].mean);
+}
+
+TEST(Threshold, AllMethodsLandBetweenTheModes) {
+  const auto w = BimodalWeights(100.0, 2000.0, 200, 200, 2);
+  for (auto method : {ThresholdMethod::kGmmExpectedF1, ThresholdMethod::kOtsu,
+                      ThresholdMethod::kTwoMeans}) {
+    auto d = DetectStopThreshold(w, method);
+    ASSERT_TRUE(d.ok());
+    // Between the FP bulk (100 +/- 20) and the TP bulk (2000 +/- 300).
+    EXPECT_GT(d->threshold, 140.0) << static_cast<int>(method);
+    EXPECT_LT(d->threshold, 1700.0) << static_cast<int>(method);
+  }
+}
+
+TEST(Threshold, FailsOnTooFewEdges) {
+  EXPECT_FALSE(DetectStopThreshold({1.0}).ok());
+  EXPECT_FALSE(DetectStopThreshold({}).ok());
+}
+
+TEST(Threshold, FailsOnIdenticalWeights) {
+  EXPECT_FALSE(DetectStopThreshold({5.0, 5.0, 5.0, 5.0}).ok());
+}
+
+TEST(ExpectedQuality, RecallFallsAndPrecisionRisesWithThreshold) {
+  const auto w = BimodalWeights(100.0, 2000.0, 150, 150, 3);
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok());
+  double p_lo, r_lo, f_lo, p_hi, r_hi, f_hi;
+  ExpectedQualityAt(d->gmm, 50.0, &p_lo, &r_lo, &f_lo);
+  ExpectedQualityAt(d->gmm, 1500.0, &p_hi, &r_hi, &f_hi);
+  EXPECT_GT(r_lo, r_hi);   // low threshold keeps everything
+  EXPECT_GT(p_hi, p_lo);   // high threshold is pure
+  EXPECT_NEAR(r_lo, 1.0, 0.05);
+}
+
+TEST(ExpectedQuality, F1AtDetectedThresholdIsMaximal) {
+  const auto w = BimodalWeights(150.0, 3000.0, 100, 200, 4);
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok());
+  double p, r, best_f1;
+  ExpectedQualityAt(d->gmm, d->threshold, &p, &r, &best_f1);
+  for (double s = 150.0; s < 3500.0; s += 100.0) {
+    double pp, rr, ff;
+    ExpectedQualityAt(d->gmm, s, &pp, &rr, &ff);
+    EXPECT_LE(ff, best_f1 + 1e-6) << "at s=" << s;
+  }
+}
+
+TEST(Threshold, SkewedMixtureStillDetected) {
+  // Few true positives among many false positives (low intersection ratio).
+  const auto w = BimodalWeights(100.0, 2500.0, 450, 50, 5);
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->threshold, 140.0);
+  EXPECT_LT(d->threshold, 2100.0);
+}
+
+TEST(Threshold, OutlierSplitFailsOpen) {
+  // All-true-positive weights with a couple of high outliers (the post-LSH
+  // degenerate case observed in fig11): the 2-component fit isolates the
+  // outliers as a 2-point "component"; the support guard must reject the
+  // fit so the caller keeps every link.
+  Rng rng(8);
+  std::vector<double> w;
+  for (int i = 0; i < 13; ++i) w.push_back(600.0 + 15.0 * rng.NextGaussian());
+  w.push_back(668.0);
+  w.push_back(669.0);
+  auto d = DetectStopThreshold(w);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Threshold, SupportGuardDoesNotBlockGenuineBimodal) {
+  // Small but genuinely bimodal: 6 + 6 points, both components supported.
+  Rng rng(9);
+  std::vector<double> w;
+  for (int i = 0; i < 6; ++i) w.push_back(10.0 + rng.NextGaussian());
+  for (int i = 0; i < 6; ++i) w.push_back(500.0 + 5.0 * rng.NextGaussian());
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_GT(d->threshold, 15.0);
+  EXPECT_LT(d->threshold, 490.0);
+}
+
+TEST(Threshold, ThresholdFiltersCorrectFraction) {
+  const auto w = BimodalWeights(100.0, 2000.0, 100, 100, 6);
+  auto d = DetectStopThreshold(w);
+  ASSERT_TRUE(d.ok());
+  size_t kept = 0;
+  for (double x : w) kept += (x > d->threshold) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(kept), 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace slim

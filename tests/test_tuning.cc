@@ -1,0 +1,100 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "data/cab_generator.h"
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+LocationDataset SmallCab(uint64_t seed = 42) {
+  CabGeneratorOptions opt;
+  opt.num_taxis = 25;
+  opt.duration_days = 1.0;
+  opt.record_interval_seconds = 300.0;
+  opt.seed = seed;
+  return GenerateCabDataset(opt);
+}
+
+TuningOptions FastOptions() {
+  TuningOptions opt;
+  opt.candidate_levels = {4, 6, 8, 10, 12, 14, 16};
+  opt.sample_entities = 8;
+  opt.partners_per_entity = 4;
+  return opt;
+}
+
+TEST(Tuning, RejectsBadLevelLists) {
+  const LocationDataset ds = SmallCab();
+  TuningOptions opt = FastOptions();
+  opt.candidate_levels = {4, 6};
+  EXPECT_FALSE(AutoTuneSpatialLevel(ds, opt).ok());
+  opt.candidate_levels = {4, 4, 6};
+  EXPECT_FALSE(AutoTuneSpatialLevel(ds, opt).ok());
+  opt.candidate_levels = {8, 6, 4};
+  EXPECT_FALSE(AutoTuneSpatialLevel(ds, opt).ok());
+}
+
+TEST(Tuning, RejectsTinyDatasets) {
+  LocationDataset ds("one");
+  ds.Add(1, {37.7, -122.4}, 100);
+  ds.Finalize();
+  EXPECT_FALSE(AutoTuneSpatialLevel(ds, FastOptions()).ok());
+}
+
+TEST(Tuning, RatioCurveDecreasesWithSpatialDetail) {
+  // Coarse grids make everyone look alike (ratio near 1); fine grids
+  // separate entities (ratio drops). The probe curve must reflect that.
+  const LocationDataset ds = SmallCab();
+  auto r = AutoTuneSpatialLevel(ds, FastOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->curve.size(), 7u);
+  EXPECT_GT(r->curve.front().avg_ratio, r->curve.back().avg_ratio);
+  // Coarsest level: nearly indistinguishable.
+  EXPECT_GT(r->curve.front().avg_ratio, 0.5);
+}
+
+TEST(Tuning, SelectedLevelIsACandidate) {
+  const LocationDataset ds = SmallCab();
+  const TuningOptions opt = FastOptions();
+  auto r = AutoTuneSpatialLevel(ds, opt);
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (int lvl : opt.candidate_levels) found |= (lvl == r->selected_level);
+  EXPECT_TRUE(found);
+}
+
+TEST(Tuning, SelectedLevelSitsPastTheSteepDrop) {
+  const LocationDataset ds = SmallCab();
+  auto r = AutoTuneSpatialLevel(ds, FastOptions());
+  ASSERT_TRUE(r.ok());
+  // The selected level should not be the coarsest candidate: the curve
+  // still falls steeply there.
+  EXPECT_GT(r->selected_level, 4);
+}
+
+TEST(Tuning, DeterministicForSeed) {
+  const LocationDataset ds = SmallCab();
+  auto r1 = AutoTuneSpatialLevel(ds, FastOptions());
+  auto r2 = AutoTuneSpatialLevel(ds, FastOptions());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->selected_level, r2->selected_level);
+  for (size_t k = 0; k < r1->curve.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r1->curve[k].avg_ratio, r2->curve[k].avg_ratio);
+  }
+}
+
+TEST(Tuning, PairTakesTheHigherElbow) {
+  const LocationDataset a = SmallCab(1);
+  const LocationDataset b = SmallCab(2);
+  const TuningOptions opt = FastOptions();
+  auto ra = AutoTuneSpatialLevel(a, opt);
+  auto rb = AutoTuneSpatialLevel(b, opt);
+  auto pair_level = AutoTuneSpatialLevelForPair(a, b, opt);
+  ASSERT_TRUE(ra.ok() && rb.ok() && pair_level.ok());
+  EXPECT_EQ(*pair_level, std::max(ra->selected_level, rb->selected_level));
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,42 @@
+// Shared helpers for the SLIM test suite.
+#ifndef SLIM_TESTS_TEST_UTIL_H_
+#define SLIM_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "geo/latlng.h"
+
+namespace slim::testing {
+
+/// San Francisco-ish bounding box used across tests.
+inline constexpr double kBoxLatLo = 37.60;
+inline constexpr double kBoxLatHi = 37.81;
+inline constexpr double kBoxLngLo = -122.52;
+inline constexpr double kBoxLngHi = -122.38;
+
+inline LatLng RandomPointInBox(Rng* rng) {
+  return LatLng{rng->NextDouble(kBoxLatLo, kBoxLatHi),
+                rng->NextDouble(kBoxLngLo, kBoxLngHi)};
+}
+
+/// A dataset where every entity sits at one fixed anchor point and emits
+/// one record per window over [0, windows). Useful for exact-score tests.
+inline LocationDataset MakeAnchoredDataset(
+    const std::vector<LatLng>& anchors, int windows, int64_t window_seconds,
+    const char* name = "anchored") {
+  LocationDataset ds(name);
+  for (size_t e = 0; e < anchors.size(); ++e) {
+    for (int w = 0; w < windows; ++w) {
+      ds.Add(static_cast<EntityId>(e), anchors[e],
+             static_cast<int64_t>(w) * window_seconds + window_seconds / 2);
+    }
+  }
+  ds.Finalize();
+  return ds;
+}
+
+}  // namespace slim::testing
+
+#endif  // SLIM_TESTS_TEST_UTIL_H_
