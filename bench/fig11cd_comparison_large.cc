@@ -22,8 +22,9 @@ void Run() {
       "fewer record comparisons");
 
   const LocationDataset& master = CachedCabMaster(scale);
-  const double master_records = master.AvgRecordsPerEntity();
   const size_t side = scale == BenchScale::kFull ? 265 : 55;
+  std::printf("master density: %.0f records/entity\n",
+              master.AvgRecordsPerEntity());
 
   // Density targets scale with the master's density; at full scale these
   // correspond to the paper's 2,100 .. 18,900 records per entity.

@@ -1,0 +1,57 @@
+# Resolves GoogleTest and guarantees the GTest::gtest_main target exists.
+#
+# Resolution order:
+#   1. When sanitizing, or when no prebuilt package exists: build from the
+#      Debian/Ubuntu source package at /usr/src/googletest so the test
+#      framework is compiled with the same flags (and sanitizer) as the
+#      code under test.
+#   2. A system-installed package via find_package(GTest).
+#   3. FetchContent from GitHub — only reachable on networked machines;
+#      offline builds are expected to be served by (1) or (2).
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+set(_slim_gtest_src "/usr/src/googletest")
+
+# A prebuilt (uninstrumented) libgtest.a must not be mixed into a
+# sanitized build, so prefer the source package when SLIM_SANITIZE is set —
+# and link slim_build_flags into the gtest targets themselves so the
+# framework is actually compiled with the sanitizer.
+if(SLIM_SANITIZE AND EXISTS "${_slim_gtest_src}/CMakeLists.txt")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${_slim_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest"
+    EXCLUDE_FROM_ALL)
+  target_link_libraries(gtest PRIVATE slim_build_flags)
+  target_link_libraries(gtest_main PRIVATE slim_build_flags)
+  # The source package predates the namespaced aliases on some distros.
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+if(EXISTS "${_slim_gtest_src}/CMakeLists.txt")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${_slim_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest"
+    EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  return()
+endif()
+
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

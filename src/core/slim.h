@@ -27,9 +27,12 @@ enum class MatcherKind {
   kHungarian,  // exact; O(n^3), for small instances / ablation
 };
 
-/// Full SLIM configuration. Defaults follow the paper's defaults (spatial
-/// level 12, 15-minute windows, b = 0.5, alpha = 2 km/min, LSH t = 0.6 with
-/// 4096 buckets).
+/// Full SLIM configuration. Defaults follow the paper's Sec. 5 pipeline
+/// defaults (spatial level 12, 15-minute windows, b = 0.5, alpha = 2
+/// km/min, 4096 LSH buckets) — except the LSH operating point, which
+/// deliberately deviates to t = 0.5 at signature level 10 (see the `lsh`
+/// field comment below for why, and tests/test_build_smoke.cc for the
+/// guard that keeps this comment honest).
 struct SlimConfig {
   HistoryConfig history;
   SimilarityConfig similarity;

@@ -1,0 +1,71 @@
+// Build-wiring smoke test: the umbrella header plus a stock SlimConfig must
+// carry a tiny workload through the whole pipeline (generate -> sample ->
+// link -> evaluate). Exercises every library layer the CMake graph links —
+// a target that compiles but mislinks, or a default that no longer runs end
+// to end, fails here before any behavioural suite runs.
+#include "slim.h"
+
+#include <gtest/gtest.h>
+
+namespace slim {
+namespace {
+
+TEST(BuildSmoke, DefaultConfigLinksEndToEnd) {
+  CabGeneratorOptions gen;
+  gen.num_taxis = 12;
+  gen.duration_days = 1.0;
+  gen.record_interval_seconds = 600.0;
+  const LocationDataset master = GenerateCabDataset(gen);
+  ASSERT_GT(master.num_records(), 0u);
+
+  PairSampleOptions sampling;
+  sampling.entities_per_side = 8;
+  sampling.intersection_ratio = 0.5;
+  sampling.inclusion_probability = 0.6;
+  sampling.seed = 3;
+  auto sample = SampleLinkedPair(master, sampling);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+
+  // The stock configuration, untouched: this is the contract README.md and
+  // the quickstart advertise.
+  const SlimConfig config;
+  const SlimLinker linker(config);
+  auto result = linker.Link(sample->a, sample->b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every layer left evidence of having run.
+  EXPECT_GT(result->possible_pairs, 0u);                  // core/history
+  EXPECT_LE(result->candidate_pairs, result->possible_pairs);  // lsh
+  EXPECT_GT(result->stats.entity_pairs, 0u);              // core/similarity
+  EXPECT_GE(result->links.size(), 1u);                    // match + threshold
+  for (const LinkedEntityPair& link : result->links) {
+    EXPECT_GT(link.score, 0.0);
+  }
+
+  // eval: the metrics layer accepts the links and the truth mapping.
+  const LinkageQuality q = EvaluateLinks(result->links, sample->truth);
+  EXPECT_GE(q.precision, 0.0);
+  EXPECT_LE(q.precision, 1.0);
+}
+
+TEST(BuildSmoke, DefaultConfigMatchesDocumentedDefaults) {
+  // Guards the doc-comment contract on SlimConfig (core/slim.h): paper
+  // Sec. 5 pipeline defaults plus the deliberately coarse LSH operating
+  // point. If a default changes, update the header comment and README too.
+  const SlimConfig config;
+  EXPECT_EQ(config.history.spatial_level, 12);
+  EXPECT_EQ(config.history.window_seconds, 900);
+  EXPECT_DOUBLE_EQ(config.similarity.b, 0.5);
+  EXPECT_DOUBLE_EQ(config.similarity.proximity.max_speed_mps, 2000.0 / 60.0);
+  EXPECT_TRUE(config.use_lsh);
+  EXPECT_DOUBLE_EQ(config.lsh.similarity_threshold, 0.5);
+  EXPECT_EQ(config.lsh.signature_spatial_level, 10);
+  EXPECT_EQ(config.lsh.temporal_step_windows, 8);
+  EXPECT_EQ(config.lsh.num_buckets, 4096u);
+  EXPECT_EQ(config.threshold_method, ThresholdMethod::kGmmExpectedF1);
+  EXPECT_TRUE(config.apply_stop_threshold);
+  EXPECT_EQ(config.matcher, MatcherKind::kGreedy);
+}
+
+}  // namespace
+}  // namespace slim
