@@ -1,9 +1,15 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the benches: the standard figure header, per-scale
+// sampling options, and the machine-readable JSON side of the benchmark
+// book (emitter + the minimal reader the regression gate uses). See
+// docs/BENCHMARKS.md for how the pieces fit together.
 #ifndef SLIM_BENCH_BENCH_UTIL_H_
 #define SLIM_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "slim.h"
 
@@ -50,6 +56,153 @@ inline SlimConfig DefaultSlimConfig() {
   cfg.similarity.b = 0.5;
   cfg.use_lsh = false;  // figures enable/parameterise LSH explicitly
   return cfg;
+}
+
+/// Minimal streaming JSON emitter for the BENCH_*.json records. Handles
+/// separators and nesting; the caller is responsible for emitting keys only
+/// inside objects. Numbers use enough precision for wall-clock seconds.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& k) {
+    Separate();
+    out_ += '"';
+    out_ += k;
+    out_ += "\": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& v) {
+    Separate();
+    out_ += '"';
+    out_ += v;  // bench strings are identifiers/paths; no escaping needed
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(double v) {
+    Separate();
+    out_ += StrFormat("%.6f", v);
+    return *this;
+  }
+  JsonWriter& Value(uint64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(int v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// The document so far, with a trailing newline.
+  std::string str() const { return out_ + "\n"; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ += c;
+    out_ += '\n';
+    depth_ += 1;
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    depth_ -= 1;
+    out_ += '\n';
+    Indent();
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value following its key: no comma, no indent
+    }
+    if (!fresh_ && depth_ > 0) out_ += ",\n";
+    if (depth_ > 0) Indent();
+    fresh_ = false;
+  }
+  void Indent() { out_.append(static_cast<size_t>(depth_) * 2, ' '); }
+
+  std::string out_;
+  int depth_ = 0;
+  bool fresh_ = true;
+  bool pending_value_ = false;
+};
+
+/// One (entities, threads) run of the pipeline bench, as read back from a
+/// BENCH_pipeline.json; see bench_pipeline.cc for the writing side.
+struct PipelineRunRecord {
+  uint64_t entities = 0;
+  int threads = 0;
+  // Stage name -> wall seconds ("histories", "lsh", "scoring", "matching",
+  // "total").
+  std::vector<std::pair<std::string, double>> seconds;
+
+  double StageSeconds(const std::string& stage) const {
+    for (const auto& [name, secs] : seconds) {
+      if (name == stage) return secs;
+    }
+    return -1.0;
+  }
+};
+
+/// Extracts the runs of a BENCH_pipeline.json document. Not a general JSON
+/// parser: it scans for the known keys in the order bench_pipeline emits
+/// them ("entities", then "threads", then the "seconds" object), which is
+/// also resilient to hand-edited whitespace. Unknown content is skipped.
+inline std::vector<PipelineRunRecord> ParsePipelineRuns(
+    const std::string& json) {
+  std::vector<PipelineRunRecord> runs;
+  auto number_after = [&](size_t pos) -> double {
+    while (pos < json.size() &&
+           (std::isspace(static_cast<unsigned char>(json[pos])) != 0 ||
+            json[pos] == ':')) {
+      ++pos;
+    }
+    return pos < json.size() ? std::strtod(json.c_str() + pos, nullptr) : -1.0;
+  };
+  size_t pos = 0;
+  while ((pos = json.find("\"entities\"", pos)) != std::string::npos) {
+    PipelineRunRecord run;
+    run.entities =
+        static_cast<uint64_t>(number_after(pos + sizeof("\"entities\"") - 1));
+    const size_t threads_pos = json.find("\"threads\"", pos);
+    if (threads_pos == std::string::npos) break;
+    run.threads =
+        static_cast<int>(number_after(threads_pos + sizeof("\"threads\"") - 1));
+    const size_t seconds_pos = json.find("\"seconds\"", threads_pos);
+    if (seconds_pos == std::string::npos) break;
+    const size_t open = json.find('{', seconds_pos);
+    const size_t close = json.find('}', seconds_pos);
+    if (open == std::string::npos || close == std::string::npos) break;
+    size_t key = open;
+    while ((key = json.find('"', key + 1)) != std::string::npos &&
+           key < close) {
+      const size_t key_end = json.find('"', key + 1);
+      if (key_end == std::string::npos || key_end > close) break;
+      const std::string name = json.substr(key + 1, key_end - key - 1);
+      run.seconds.emplace_back(name, number_after(key_end + 1));
+      key = json.find(',', key_end);
+      if (key == std::string::npos || key > close) break;
+    }
+    runs.push_back(std::move(run));
+    pos = close == std::string::npos ? json.size() : close;
+  }
+  return runs;
 }
 
 }  // namespace slim::bench

@@ -1,14 +1,159 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
+#include <cstdlib>
+#include <limits>
 
 namespace slim {
+namespace {
+
+// True while the current thread is executing a shard of some pool's job;
+// nested Run()/ParallelFor() calls from inside a shard run inline instead of
+// deadlocking on the (busy) pool.
+thread_local bool t_in_shard = false;
+
+// Inline fallback: same shard layout, executed sequentially on the caller.
+void RunInline(size_t n, const std::function<void(size_t, size_t, int)>& fn,
+               int shards) {
+  const size_t chunk =
+      (n + static_cast<size_t>(shards) - 1) / static_cast<size_t>(shards);
+  for (int shard = 0; shard < shards; ++shard) {
+    const size_t begin = static_cast<size_t>(shard) * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    fn(begin, end, shard);
+  }
+}
+
+}  // namespace
 
 int DefaultThreadCount() {
+  if (const char* env = std::getenv("SLIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 &&
+        v <= std::numeric_limits<int>::max()) {
+      return static_cast<int>(v);
+    }
+    // Malformed, non-positive, or out-of-range values fall through to the
+    // hardware count (the contract is "at least 1 in every case").
+  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hc, 1u, 8u));
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(std::max(1, threads > 0 ? threads : DefaultThreadCount())) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Intentionally leaked: worker threads must not be joined during static
+  // destruction (library code may run parallel stages until process exit).
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    job_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+    if (stop_) return;
+    seen = job_id_;
+    lock.unlock();
+    ExecuteShards(seen);
+    lock.lock();
+  }
+}
+
+// Shard claiming runs under mu_; only the shard bodies themselves execute
+// unlocked. Shards are coarse (one per thread per stage), so the lock is
+// cold. The `id` check makes a late-waking worker from a previous job bow
+// out instead of touching the current job's state.
+void ThreadPool::ExecuteShards(uint64_t id) {
+  t_in_shard = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (job_id_ == id && next_shard_ < job_shards_) {
+    const int shard = next_shard_++;
+    const auto* fn = job_fn_;
+    const size_t begin = static_cast<size_t>(shard) * job_chunk_;
+    const size_t end = std::min(job_n_, begin + job_chunk_);
+    const bool skip = begin >= end || cancel_;
+    lock.unlock();
+    std::exception_ptr err;
+    if (!skip) {
+      try {
+        (*fn)(begin, end, shard);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    lock.lock();
+    if (err) {
+      if (!error_) error_ = err;
+      cancel_ = true;
+    }
+    ++shards_done_;
+    if (shards_done_ == job_shards_) done_cv_.notify_all();
+  }
+  t_in_shard = false;
+}
+
+void ThreadPool::Run(size_t n,
+                     const std::function<void(size_t, size_t, int)>& fn,
+                     int shards) {
+  if (n == 0) return;
+  int s = shards > 0 ? shards : threads_;
+  s = static_cast<int>(std::min<size_t>(static_cast<size_t>(s), n));
+  if (s <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  if (t_in_shard || threads_ <= 1) {
+    // Nested call (or a workerless pool): same shard layout, run inline.
+    RunInline(n, fn, s);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_chunk_ = (n + static_cast<size_t>(s) - 1) / static_cast<size_t>(s);
+    job_shards_ = s;
+    next_shard_ = 0;
+    cancel_ = false;
+    shards_done_ = 0;
+    error_ = nullptr;
+    id = ++job_id_;
+  }
+  job_cv_.notify_all();
+  ExecuteShards(id);  // the calling thread works too
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return shards_done_ == job_shards_; });
+    job_fn_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ParallelFor(size_t n,
@@ -21,16 +166,7 @@ void ParallelFor(size_t n,
     fn(0, n, 0);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(t));
-  const size_t chunk = (n + static_cast<size_t>(t) - 1) / static_cast<size_t>(t);
-  for (int shard = 0; shard < t; ++shard) {
-    const size_t begin = static_cast<size_t>(shard) * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end, shard] { fn(begin, end, shard); });
-  }
-  for (auto& th : pool) th.join();
+  ThreadPool::Shared().Run(n, fn, t);
 }
 
 }  // namespace slim

@@ -1,25 +1,121 @@
-// Minimal data-parallel helper used by the pairwise scoring stage.
+// Data-parallel execution for the linkage pipeline.
 //
-// ParallelFor splits [0, n) into contiguous shards and runs `fn(begin, end,
-// shard)` on a small pool of std::threads. The shard index lets callers keep
-// per-shard accumulators (stats counters, edge lists) and merge them
-// deterministically afterwards — results never depend on thread scheduling.
+// Every parallel stage in SLIM follows the same shape: split [0, n) into
+// contiguous shards, run `fn(begin, end, shard)` concurrently, keep any
+// mutable state in per-shard accumulators, and merge the accumulators in
+// shard order afterwards. Because the shard partition depends only on (n,
+// shard count) — never on thread scheduling — a stage that merges its
+// shards in order produces bit-identical results at every thread count.
+//
+// ThreadPool is the reusable executor behind that pattern: a fixed set of
+// persistent workers (created once, reused by every stage) plus the calling
+// thread, which participates in the work instead of blocking idle.
+// ParallelFor is the convenience wrapper almost all call sites use.
 #ifndef SLIM_COMMON_PARALLEL_H_
 #define SLIM_COMMON_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace slim {
 
-/// Returns the library-wide default parallelism: min(hardware_concurrency, 8),
-/// at least 1. Override per call site via the `threads` argument.
+/// Returns the library-wide default parallelism: the value of the
+/// SLIM_THREADS environment variable when it is set to a positive integer,
+/// otherwise std::thread::hardware_concurrency(), and at least 1 in every
+/// case. There is no built-in upper cap — on a 64-way machine the default
+/// is 64; set SLIM_THREADS (or a per-call `threads` argument) to limit it.
 int DefaultThreadCount();
 
-/// Runs fn(begin, end, shard) over a contiguous partition of [0, n) on
-/// `threads` threads (<=0 means DefaultThreadCount()). Blocks until all
-/// shards complete. fn must be safe to call concurrently on disjoint ranges.
-/// With threads == 1 (or n small) the call runs inline with shard == 0.
+/// A fixed-size pool of persistent worker threads executing sharded loops.
+///
+/// Run() partitions [0, n) into `shards` contiguous ranges and hands them to
+/// the workers *and the calling thread* via dynamic claiming; it blocks
+/// until every shard finished and rethrows the first exception any shard
+/// threw. The shard layout depends only on (n, shards), so per-shard
+/// accumulators merged in shard order are deterministic regardless of which
+/// thread ran which shard, or how many threads exist.
+///
+/// A pool of `threads` provides at most `threads`-way concurrency
+/// (`threads - 1` workers plus the caller). Asking Run() for more shards
+/// than that is allowed — extra shards queue behind the claiming loop — so
+/// callers can pin the shard layout (for determinism tests, say) without
+/// caring about the machine size.
+///
+/// Run() is serialised: concurrent calls from different threads queue, and
+/// a nested call from inside a running shard executes inline on the calling
+/// thread (no deadlock, same results).
+class ThreadPool {
+ public:
+  /// Creates `threads - 1` persistent workers; <= 0 means
+  /// DefaultThreadCount(). A 1-thread pool runs everything inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrency this pool provides (workers + calling thread).
+  int num_threads() const { return threads_; }
+
+  /// Runs fn(begin, end, shard) over `shards` contiguous shards of [0, n),
+  /// shard in [0, effective_shards) where effective_shards =
+  /// min(shards <= 0 ? num_threads() : shards, n). Blocks until complete;
+  /// rethrows the first exception thrown by any shard (remaining shards are
+  /// skipped once an exception is recorded).
+  void Run(size_t n, const std::function<void(size_t begin, size_t end,
+                                              int shard)>& fn,
+           int shards = 0);
+
+  /// The process-wide pool, created on first use with DefaultThreadCount()
+  /// threads (so SLIM_THREADS is honored if set before the first parallel
+  /// stage runs). Never destroyed — worker threads live for the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  /// Claims and executes shards of job `id` until none remain (or the pool
+  /// moved on to a newer job).
+  void ExecuteShards(uint64_t id);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: "a new job is ready"
+  std::condition_variable done_cv_;  // Run(): "all shards finished"
+  uint64_t job_id_ = 0;              // bumped once per Run()
+  bool stop_ = false;
+
+  // Current job, all guarded by mu_; shard bodies execute unlocked, the
+  // claim bookkeeping does not.
+  const std::function<void(size_t, size_t, int)>* job_fn_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_chunk_ = 0;
+  int job_shards_ = 0;
+  int next_shard_ = 0;
+  bool cancel_ = false;
+  int shards_done_ = 0;
+  std::exception_ptr error_;  // first exception thrown by a shard
+
+  std::mutex run_mu_;  // serialises Run() callers
+};
+
+/// Runs fn(begin, end, shard) over a contiguous partition of [0, n) with
+/// shard in [0, min(threads, n)), on the shared pool. `threads` <= 0 means
+/// DefaultThreadCount(). Blocks until all shards complete and rethrows the
+/// first shard exception. With an effective thread count of 1 the call runs
+/// inline as fn(0, n, 0).
+///
+/// Callers keeping per-shard accumulators should size them by the effective
+/// thread count and merge them in shard order — that merge order, plus the
+/// deterministic shard partition, is what makes every SLIM stage produce
+/// identical results at any thread count.
 void ParallelFor(size_t n,
                  const std::function<void(size_t begin, size_t end, int shard)>& fn,
                  int threads = 0);

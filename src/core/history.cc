@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "geo/covering.h"
 #include "temporal/time_window.h"
 
@@ -72,20 +73,35 @@ std::span<const TimeLocationBin> MobilityHistory::BinsInWindow(
 }
 
 HistorySet HistorySet::Build(const LocationDataset& dataset,
-                             const HistoryConfig& config) {
+                             const HistoryConfig& config, int threads) {
   HistorySet set;
   set.config_ = config;
-  set.histories_.reserve(dataset.num_entities());
+  const std::vector<EntityId>& ids = dataset.entity_ids();
+
+  // Each entity's history is independent — build them in parallel into a
+  // pre-sized vector so entity order (and therefore every downstream
+  // statistic) does not depend on scheduling.
+  set.histories_.resize(ids.size());
+  ParallelFor(
+      ids.size(),
+      [&](size_t begin, size_t end, int) {
+        for (size_t k = begin; k < end; ++k) {
+          set.histories_[k] = MobilityHistory::FromRecords(
+              ids[k], dataset.RecordsOf(ids[k]), config);
+        }
+      },
+      threads);
+
+  // Dataset-level statistics, merged sequentially in entity order.
   size_t total_bins = 0;
-  for (EntityId e : dataset.entity_ids()) {
-    MobilityHistory h =
-        MobilityHistory::FromRecords(e, dataset.RecordsOf(e), config);
+  set.by_entity_.reserve(ids.size());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const MobilityHistory& h = set.histories_[k];
     total_bins += h.num_bins();
     for (const TimeLocationBin& bin : h.bins()) {
       ++set.bin_entity_counts_[{bin.window, bin.cell.raw()}];
     }
-    set.by_entity_[e] = set.histories_.size();
-    set.histories_.push_back(std::move(h));
+    set.by_entity_[ids[k]] = k;
   }
   set.avg_bins_ = set.histories_.empty()
                       ? 0.0

@@ -86,9 +86,13 @@ class MobilityHistory {
 /// average history size (for the normalisation L, Eq. 2).
 class HistorySet {
  public:
-  /// Builds the histories of every entity in `dataset`.
+  /// Builds the histories of every entity in `dataset`. Per-entity history
+  /// construction is data-parallel over `threads` workers (<= 0 means the
+  /// library default; see common/parallel.h); the dataset-level statistics
+  /// are merged in entity order afterwards, so the result is identical at
+  /// every thread count.
   static HistorySet Build(const LocationDataset& dataset,
-                          const HistoryConfig& config);
+                          const HistoryConfig& config, int threads = 0);
 
   const HistoryConfig& config() const { return config_; }
   size_t size() const { return histories_.size(); }

@@ -35,11 +35,15 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
   }
   const auto t_start = std::chrono::steady_clock::now();
   LinkageResult result;
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
 
   // 1. Mobility histories (CreateHistories of Alg. 1).
   auto t0 = std::chrono::steady_clock::now();
-  const HistorySet set_e = HistorySet::Build(dataset_e, config_.history);
-  const HistorySet set_i = HistorySet::Build(dataset_i, config_.history);
+  const HistorySet set_e =
+      HistorySet::Build(dataset_e, config_.history, threads);
+  const HistorySet set_i =
+      HistorySet::Build(dataset_i, config_.history, threads);
   result.seconds_histories = SecondsSince(t0);
   result.possible_pairs =
       static_cast<uint64_t>(set_e.size()) * static_cast<uint64_t>(set_i.size());
@@ -58,7 +62,7 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
     right.reserve(set_i.size());
     for (const auto& h : set_e.histories()) left.push_back({h.entity(), &h.tree()});
     for (const auto& h : set_i.histories()) right.push_back({h.entity(), &h.tree()});
-    lsh_index = LshIndex::Build(left, right, config_.lsh);
+    lsh_index = LshIndex::Build(left, right, config_.lsh, threads);
     result.candidate_pairs = lsh_index.total_candidate_pairs();
   } else {
     all_right.reserve(set_i.size());
@@ -71,8 +75,6 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
   t0 = std::chrono::steady_clock::now();
   const SimilarityEngine engine(set_e, set_i, config_.similarity);
   const auto& lefts = set_e.histories();
-  const int threads =
-      config_.threads > 0 ? config_.threads : DefaultThreadCount();
   std::vector<std::vector<WeightedEdge>> shard_edges(
       static_cast<size_t>(threads));
   std::vector<SimilarityStats> shard_stats(static_cast<size_t>(threads));
@@ -95,6 +97,11 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
       },
       threads);
 
+  // Sharded edge lists merge in shard order; the sort below then fixes one
+  // canonical edge order whatever the thread count was.
+  size_t total_edges = 0;
+  for (const auto& edges : shard_edges) total_edges += edges.size();
+  result.graph.Reserve(total_edges);
   for (int shard = 0; shard < threads; ++shard) {
     result.stats += shard_stats[static_cast<size_t>(shard)];
     for (const auto& e : shard_edges[static_cast<size_t>(shard)]) {

@@ -30,9 +30,8 @@ enum class MatcherKind {
 /// Full SLIM configuration. Defaults follow the paper's Sec. 5 pipeline
 /// defaults (spatial level 12, 15-minute windows, b = 0.5, alpha = 2
 /// km/min, 4096 LSH buckets) — except the LSH operating point, which
-/// deliberately deviates to t = 0.5 at signature level 10 (see the `lsh`
-/// field comment below for why, and tests/test_build_smoke.cc for the
-/// guard that keeps this comment honest).
+/// deliberately deviates to t = 0.5 at signature level 10 (docs/TUNING.md
+/// has the reasoning; tests/test_build_smoke.cc guards these values).
 struct SlimConfig {
   HistoryConfig history;
   SimilarityConfig similarity;
@@ -40,13 +39,10 @@ struct SlimConfig {
   /// When false, every cross-dataset pair is scored (the paper's "no-LSH
   /// SLIM" / brute-force reference).
   bool use_lsh = true;
-  /// LSH parameters. Two deviations from LshConfig's own Sec. 5.3.2
-  /// defaults (level 16, 12-hour steps, t = 0.6), which assume weeks of
-  /// data: (1) the signature spatial level must not exceed
-  /// history.spatial_level, and (2) a conservative coarse operating point
-  /// (level 10, 2-hour steps, t = 0.5) keeps candidate recall high on
-  /// short collections — finer signatures prune more but lose recall, the
-  /// Fig. 8 trade-off. Tune per deployment; see bench/fig08.
+  /// LSH parameters. Defaults to a deliberately coarse operating point
+  /// (level 10, 2-hour steps, t = 0.5) rather than LshConfig's own
+  /// Sec. 5.3.2 values — docs/TUNING.md explains the level/step/threshold
+  /// trade-offs and when to deviate.
   LshConfig lsh{.similarity_threshold = 0.5,
                 .signature_spatial_level = 10,
                 .temporal_step_windows = 8};
@@ -58,7 +54,11 @@ struct SlimConfig {
 
   MatcherKind matcher = MatcherKind::kGreedy;
 
-  /// Worker threads for pairwise scoring; <= 0 means the library default.
+  /// Worker threads for every pipeline stage (history building, LSH
+  /// signatures and probing, pairwise scoring, edge assembly); <= 0 means
+  /// the library default (the SLIM_THREADS environment variable, else all
+  /// hardware threads — see common/parallel.h). Results are identical at
+  /// every thread count.
   int threads = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace slim {
 namespace {
@@ -32,11 +33,14 @@ bool HashBand(const LshSignature& sig, size_t row_begin, size_t row_end,
   return any;
 }
 
+// Marks "this entity's band was all placeholders; it lands in no bucket".
+constexpr uint64_t kNoBucket = std::numeric_limits<uint64_t>::max();
+
 }  // namespace
 
 LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
                          const std::vector<Entry>& side_i,
-                         const LshConfig& config) {
+                         const LshConfig& config, int threads) {
   SLIM_CHECK_MSG(config.num_buckets >= 1, "num_buckets must be >= 1");
   LshIndex index;
 
@@ -56,24 +60,39 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
   if (w_lo > w_hi) return index;  // nothing occupied anywhere
 
   const int64_t w_end = w_hi + 1;
-  // Signatures.
-  for (const Entry& e : side_e) {
-    index.left_signatures_[e.entity] =
-        BuildSignature(*e.tree, w_lo, w_end, config.temporal_step_windows,
-                       config.signature_spatial_level);
+
+  // Signatures: one per entity, independent of each other — shard over
+  // entities into pre-sized vectors (entity order fixed by the caller).
+  std::vector<LshSignature> sig_e(side_e.size()), sig_i(side_i.size());
+  auto build_side = [&](const std::vector<Entry>& side,
+                        std::vector<LshSignature>& out) {
+    ParallelFor(
+        side.size(),
+        [&](size_t begin, size_t end, int) {
+          for (size_t k = begin; k < end; ++k) {
+            out[k] = BuildSignature(*side[k].tree, w_lo, w_end,
+                                    config.temporal_step_windows,
+                                    config.signature_spatial_level);
+          }
+        },
+        threads);
+  };
+  build_side(side_e, sig_e);
+  build_side(side_i, sig_i);
+  index.signature_size_ =
+      !sig_e.empty() ? sig_e.front().size()
+                     : (!sig_i.empty() ? sig_i.front().size() : 0);
+  if (index.signature_size_ == 0) {
+    // Keep the (empty-signature) diagnostics maps consistent with the
+    // sequential result before returning.
+    for (size_t k = 0; k < side_e.size(); ++k) {
+      index.left_signatures_[side_e[k].entity] = std::move(sig_e[k]);
+    }
+    for (size_t k = 0; k < side_i.size(); ++k) {
+      index.right_signatures_[side_i[k].entity] = std::move(sig_i[k]);
+    }
+    return index;
   }
-  for (const Entry& e : side_i) {
-    index.right_signatures_[e.entity] =
-        BuildSignature(*e.tree, w_lo, w_end, config.temporal_step_windows,
-                       config.signature_spatial_level);
-  }
-  index.signature_size_ = index.left_signatures_.empty()
-                              ? (index.right_signatures_.empty()
-                                     ? 0
-                                     : index.right_signatures_.begin()
-                                           ->second.size())
-                              : index.left_signatures_.begin()->second.size();
-  if (index.signature_size_ == 0) return index;
 
   // Banding (Lambert-W sizing).
   index.num_bands_ =
@@ -82,46 +101,76 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
       (index.signature_size_ + static_cast<size_t>(index.num_bands_) - 1) /
       static_cast<size_t>(index.num_bands_));
 
-  // Bucket tables, one per band: bucket -> (left entities, right entities).
-  struct Bucket {
-    std::vector<EntityId> left;
-    std::vector<EntityId> right;
+  // Bucket tables, sharded over bands: each band hashes the right side into
+  // its own bucket map and records every left entity's bucket key. Bands
+  // are fully independent, and within a band rights are appended in side_i
+  // order, so the tables never depend on scheduling.
+  struct BandTable {
+    // bucket key -> right entities, in side_i order.
+    std::unordered_map<uint64_t, std::vector<EntityId>> right_buckets;
+    // per left-entity index: its bucket key, or kNoBucket.
+    std::vector<uint64_t> left_key;
   };
-  for (int band = 0; band < index.num_bands_; ++band) {
-    const size_t row_begin =
-        static_cast<size_t>(band) * static_cast<size_t>(index.rows_per_band_);
-    const size_t row_end =
-        row_begin + static_cast<size_t>(index.rows_per_band_);
-    std::unordered_map<uint64_t, Bucket> buckets;
+  std::vector<BandTable> bands(static_cast<size_t>(index.num_bands_));
+  ParallelFor(
+      static_cast<size_t>(index.num_bands_),
+      [&](size_t begin, size_t end, int) {
+        for (size_t band = begin; band < end; ++band) {
+          const size_t row_begin =
+              band * static_cast<size_t>(index.rows_per_band_);
+          const size_t row_end =
+              row_begin + static_cast<size_t>(index.rows_per_band_);
+          BandTable& table = bands[band];
+          table.left_key.assign(side_e.size(), kNoBucket);
+          uint64_t h;
+          for (size_t k = 0; k < side_e.size(); ++k) {
+            if (HashBand(sig_e[k], row_begin, row_end, config.hash_seed, &h)) {
+              table.left_key[k] = h % config.num_buckets;
+            }
+          }
+          for (size_t k = 0; k < side_i.size(); ++k) {
+            if (HashBand(sig_i[k], row_begin, row_end, config.hash_seed, &h)) {
+              table.right_buckets[h % config.num_buckets].push_back(
+                  side_i[k].entity);
+            }
+          }
+        }
+      },
+      threads);
 
-    for (const Entry& e : side_e) {
-      uint64_t h;
-      if (HashBand(index.left_signatures_.at(e.entity), row_begin, row_end,
-                   config.hash_seed, &h)) {
-        buckets[h % config.num_buckets].left.push_back(e.entity);
-      }
+  // Candidate gathering + de-duplication, sharded over left entities: each
+  // left entity unions its bucket's rights across bands (band order) and
+  // sorts/uniques its own list.
+  std::vector<std::vector<EntityId>> cands(side_e.size());
+  ParallelFor(
+      side_e.size(),
+      [&](size_t begin, size_t end, int) {
+        for (size_t k = begin; k < end; ++k) {
+          std::vector<EntityId>& list = cands[k];
+          for (const BandTable& table : bands) {
+            const uint64_t key = table.left_key[k];
+            if (key == kNoBucket) continue;
+            const auto it = table.right_buckets.find(key);
+            if (it == table.right_buckets.end()) continue;
+            list.insert(list.end(), it->second.begin(), it->second.end());
+          }
+          std::sort(list.begin(), list.end());
+          list.erase(std::unique(list.begin(), list.end()), list.end());
+        }
+      },
+      threads);
+
+  // Ordered merges into the lookup maps (and the candidate-pair total, in
+  // left-entity order).
+  for (size_t k = 0; k < side_e.size(); ++k) {
+    if (!cands[k].empty()) {
+      index.total_candidate_pairs_ += cands[k].size();
+      index.candidates_[side_e[k].entity] = std::move(cands[k]);
     }
-    for (const Entry& e : side_i) {
-      uint64_t h;
-      if (HashBand(index.right_signatures_.at(e.entity), row_begin, row_end,
-                   config.hash_seed, &h)) {
-        buckets[h % config.num_buckets].right.push_back(e.entity);
-      }
-    }
-    for (const auto& [hash, bucket] : buckets) {
-      if (bucket.left.empty() || bucket.right.empty()) continue;
-      for (EntityId u : bucket.left) {
-        auto& list = index.candidates_[u];
-        list.insert(list.end(), bucket.right.begin(), bucket.right.end());
-      }
-    }
+    index.left_signatures_[side_e[k].entity] = std::move(sig_e[k]);
   }
-
-  // De-duplicate candidate lists.
-  for (auto& [u, list] : index.candidates_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-    index.total_candidate_pairs_ += list.size();
+  for (size_t k = 0; k < side_i.size(); ++k) {
+    index.right_signatures_[side_i[k].entity] = std::move(sig_i[k]);
   }
   return index;
 }

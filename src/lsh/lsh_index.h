@@ -33,9 +33,16 @@ class LshIndex {
   /// Builds the index. The global query grid spans the union of both
   /// sides' occupied window ranges, so signature positions align across
   /// every history. Empty sides are allowed.
+  ///
+  /// Construction is data-parallel over `threads` workers (<= 0 means the
+  /// library default; see common/parallel.h): signature computation shards
+  /// over entities, bucket building shards over bands, and candidate
+  /// gathering + de-duplication shards over left entities. Every merge is
+  /// ordered (entity order, band order), so the index is identical at
+  /// every thread count.
   static LshIndex Build(const std::vector<Entry>& side_e,
                         const std::vector<Entry>& side_i,
-                        const LshConfig& config);
+                        const LshConfig& config, int threads = 0);
 
   /// Sorted, de-duplicated right-side candidates for left entity `u`
   /// (empty when u collided with nothing).

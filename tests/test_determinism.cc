@@ -1,0 +1,138 @@
+// Thread-count invariance of the pipeline — the acceptance gate for the
+// parallel stages: every stage, and Slim::Link end to end, must produce
+// bit-identical results at every thread count. Per-shard accumulators with
+// ordered merges (common/parallel.h) are the mechanism; these tests are the
+// contract.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "slim.h"
+
+namespace slim {
+namespace {
+
+// A linkage experiment big enough that every parallel stage actually
+// shards, on the sparse SM-style workload (the paper's scalability case).
+const LinkedPairSample& Sample() {
+  static const LinkedPairSample* sample = [] {
+    CheckinGeneratorOptions gen;
+    gen.num_users = 500;
+    gen.seed = 77;
+    const LocationDataset master = GenerateCheckinDataset(gen);
+    PairSampleOptions sampling;
+    sampling.entities_per_side = 220;
+    sampling.intersection_ratio = 0.5;
+    sampling.inclusion_probability = 0.5;
+    sampling.seed = 78;
+    auto s = SampleLinkedPair(master, sampling);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return new LinkedPairSample(std::move(s.value()));
+  }();
+  return *sample;
+}
+
+TEST(Determinism, HistorySetIsIdenticalAtEveryThreadCount) {
+  const HistoryConfig config;
+  const HistorySet reference = HistorySet::Build(Sample().a, config, 1);
+  for (int threads : {2, 3, 8}) {
+    const HistorySet set = HistorySet::Build(Sample().a, config, threads);
+    ASSERT_EQ(set.size(), reference.size()) << threads;
+    EXPECT_DOUBLE_EQ(set.avg_bins_per_history(),
+                     reference.avg_bins_per_history())
+        << threads;
+    for (size_t k = 0; k < set.size(); ++k) {
+      const MobilityHistory& a = set.histories()[k];
+      const MobilityHistory& b = reference.histories()[k];
+      ASSERT_EQ(a.entity(), b.entity()) << threads;
+      ASSERT_EQ(a.bins(), b.bins()) << threads << " entity " << a.entity();
+      // The dataset-level statistics every bin feeds must agree too.
+      for (const TimeLocationBin& bin : a.bins()) {
+        EXPECT_EQ(set.BinEntityCount(bin.window, bin.cell),
+                  reference.BinEntityCount(bin.window, bin.cell));
+      }
+    }
+  }
+}
+
+TEST(Determinism, LshIndexIsIdenticalAtEveryThreadCount) {
+  const HistoryConfig hconfig;
+  const HistorySet set_e = HistorySet::Build(Sample().a, hconfig, 1);
+  const HistorySet set_i = HistorySet::Build(Sample().b, hconfig, 1);
+  std::vector<LshIndex::Entry> left, right;
+  for (const auto& h : set_e.histories()) left.push_back({h.entity(), &h.tree()});
+  for (const auto& h : set_i.histories()) right.push_back({h.entity(), &h.tree()});
+
+  const SlimConfig defaults;  // the stock LSH operating point
+  const LshIndex reference = LshIndex::Build(left, right, defaults.lsh, 1);
+  for (int threads : {2, 5, 8}) {
+    const LshIndex index = LshIndex::Build(left, right, defaults.lsh, threads);
+    EXPECT_EQ(index.total_candidate_pairs(),
+              reference.total_candidate_pairs())
+        << threads;
+    EXPECT_EQ(index.signature_size(), reference.signature_size());
+    EXPECT_EQ(index.num_bands(), reference.num_bands());
+    for (const auto& entry : left) {
+      ASSERT_EQ(index.CandidatesFor(entry.entity),
+                reference.CandidatesFor(entry.entity))
+          << threads << " entity " << entry.entity;
+      const LshSignature* a = index.LeftSignature(entry.entity);
+      const LshSignature* b = reference.LeftSignature(entry.entity);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->cells, b->cells);
+    }
+  }
+}
+
+void ExpectIdenticalResults(const LinkageResult& a, const LinkageResult& b,
+                            int threads) {
+  // links, matching, and graph carry doubles — operator== compares them
+  // exactly, which is the point: bit-identical, not approximately equal.
+  EXPECT_EQ(a.links, b.links) << threads;
+  EXPECT_EQ(a.matching.pairs, b.matching.pairs) << threads;
+  EXPECT_DOUBLE_EQ(a.matching.total_weight, b.matching.total_weight);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges()) << threads;
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs) << threads;
+  EXPECT_EQ(a.possible_pairs, b.possible_pairs) << threads;
+  EXPECT_EQ(a.stats.record_comparisons, b.stats.record_comparisons);
+  EXPECT_EQ(a.stats.alibi_pairs, b.stats.alibi_pairs);
+  EXPECT_EQ(a.stats.entity_pairs, b.stats.entity_pairs);
+  EXPECT_EQ(a.threshold_valid, b.threshold_valid) << threads;
+  if (a.threshold_valid && b.threshold_valid) {
+    EXPECT_DOUBLE_EQ(a.threshold.threshold, b.threshold.threshold);
+  }
+}
+
+TEST(Determinism, LinkIsIdenticalAtThreads128) {
+  SlimConfig config;  // stock pipeline, LSH on
+  config.threads = 1;
+  auto reference = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_GT(reference->links.size(), 0u);
+
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    auto result = SlimLinker(config).Link(Sample().a, Sample().b);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectIdenticalResults(*reference, *result, threads);
+  }
+}
+
+TEST(Determinism, BruteForceLinkIsIdenticalAcrossThreadCounts) {
+  // Without LSH the scoring loop covers the full cross product — the
+  // heaviest sharded stage gets the same invariance check.
+  SlimConfig config;
+  config.use_lsh = false;
+  config.threads = 1;
+  auto reference = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  config.threads = 8;
+  auto result = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectIdenticalResults(*reference, *result, 8);
+}
+
+}  // namespace
+}  // namespace slim

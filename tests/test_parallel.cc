@@ -1,7 +1,10 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -46,6 +49,12 @@ TEST(ParallelFor, ShardsAreContiguousAndOrdered) {
   size_t covered = 0;
   for (const auto& [b, e] : ranges) covered += e - b;
   EXPECT_EQ(covered, n);
+  // Shard k's range starts exactly where shard k-1 ended.
+  for (int k = 1; k < threads; ++k) {
+    EXPECT_EQ(ranges[static_cast<size_t>(k)].first,
+              ranges[static_cast<size_t>(k - 1)].second)
+        << "shard " << k;
+  }
 }
 
 TEST(ParallelFor, PerShardAccumulatorsMergeDeterministically) {
@@ -65,20 +74,137 @@ TEST(ParallelFor, PerShardAccumulatorsMergeDeterministically) {
   }
 }
 
+// The shard partition is a function of (n, threads) alone, so concatenating
+// per-shard accumulators in shard order must reproduce the sequential
+// order — the property every pipeline stage's ordered merge relies on.
+TEST(ParallelFor, ShardMergeInOrderReproducesSequentialOrder) {
+  const size_t n = 1003;  // deliberately not divisible by the thread counts
+  for (int threads : {2, 3, 4, 7}) {
+    std::vector<std::vector<size_t>> per_shard(
+        static_cast<size_t>(threads));
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end, int shard) {
+          for (size_t i = begin; i < end; ++i) {
+            per_shard[static_cast<size_t>(shard)].push_back(i);
+          }
+        },
+        threads);
+    std::vector<size_t> merged;
+    for (const auto& shard : per_shard) {
+      merged.insert(merged.end(), shard.begin(), shard.end());
+    }
+    ASSERT_EQ(merged.size(), n) << threads;
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(merged[i], i) << threads;
+  }
+}
+
 TEST(ParallelFor, MoreThreadsThanItems) {
   std::atomic<int> count{0};
+  std::atomic<int> max_shard{-1};
   ParallelFor(
-      3, [&](size_t begin, size_t end, int) {
+      3,
+      [&](size_t begin, size_t end, int shard) {
         count += static_cast<int>(end - begin);
+        int cur = max_shard.load();
+        while (shard > cur && !max_shard.compare_exchange_weak(cur, shard)) {
+        }
       },
       /*threads=*/16);
   EXPECT_EQ(count.load(), 3);
+  // Shard indices stay inside [0, n) when n < threads.
+  EXPECT_LT(max_shard.load(), 3);
 }
 
-TEST(DefaultThreadCount, IsPositiveAndBounded) {
-  const int t = DefaultThreadCount();
-  EXPECT_GE(t, 1);
-  EXPECT_LE(t, 8);
+TEST(ParallelFor, PropagatesExceptionsFromShards) {
+  EXPECT_THROW(
+      ParallelFor(
+          1000,
+          [](size_t begin, size_t, int) {
+            if (begin == 0) throw std::runtime_error("shard failure");
+          },
+          4),
+      std::runtime_error);
+  // The shared pool survives a throwing job and runs the next one.
+  std::atomic<int> count{0};
+  ParallelFor(
+      100, [&](size_t begin, size_t end, int) {
+        count += static_cast<int>(end - begin);
+      },
+      4);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(
+      4,
+      [&](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; ++i) {
+          ParallelFor(
+              10,
+              [&](size_t b, size_t e, int) {
+                inner_total += static_cast<int>(e - b);
+              },
+              4);
+        }
+      },
+      4);
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPool, RunsJobsAndIsReusable) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<long> sums(3, 0);
+    pool.Run(300, [&](size_t begin, size_t end, int shard) {
+      for (size_t i = begin; i < end; ++i) {
+        sums[static_cast<size_t>(shard)] += static_cast<long>(i);
+      }
+    });
+    EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), 0L),
+              300L * 299L / 2L)
+        << round;
+  }
+}
+
+TEST(ThreadPool, HonorsExplicitShardCountAboveItsSize) {
+  // More shards than pool threads: every shard index still appears once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> shard_runs(8);
+  pool.Run(
+      800,
+      [&](size_t, size_t, int shard) {
+        shard_runs[static_cast<size_t>(shard)].fetch_add(1);
+      },
+      /*shards=*/8);
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(shard_runs[s].load(), 1) << s;
+}
+
+TEST(DefaultThreadCount, IsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+TEST(DefaultThreadCount, HonorsSlimThreadsEnv) {
+  ASSERT_EQ(setenv("SLIM_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  // No silent cap: large explicit values are respected verbatim.
+  ASSERT_EQ(setenv("SLIM_THREADS", "64", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 64);
+  // Malformed / non-positive values fall back to the hardware count.
+  ASSERT_EQ(setenv("SLIM_THREADS", "0", 1), 0);
+  const int hw = DefaultThreadCount();
+  EXPECT_GE(hw, 1);
+  ASSERT_EQ(setenv("SLIM_THREADS", "banana", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), hw);
+  // Values past INT_MAX would overflow the cast; they are invalid too.
+  ASSERT_EQ(setenv("SLIM_THREADS", "4294967296", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), hw);
+  ASSERT_EQ(setenv("SLIM_THREADS", "2147483648", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), hw);
+  ASSERT_EQ(unsetenv("SLIM_THREADS"), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //             [--no_lsh] [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
 //             [--lsh_buckets N] [--threshold gmm|otsu|two_means|none]
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
+//             [--bench_json PATH]
 //
 // Input CSV: entity_id,lat,lng,timestamp (epoch seconds), header optional.
 // Output CSV: entity_a,entity_b,score.
@@ -15,6 +16,24 @@
 #include "slim.h"
 
 namespace {
+
+// Escapes a string for use inside a JSON string literal (quotes,
+// backslashes, control characters — enough for arbitrary file paths).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += slim::StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 void Usage() {
   std::fprintf(
@@ -37,8 +56,12 @@ void Usage() {
       "  --threshold KIND      gmm|otsu|two_means|none (default gmm)\n"
       "  --matcher KIND        greedy|hungarian (default greedy)\n"
       "  --min_records N       drop entities with fewer records (default 6)\n"
-      "  --threads N           scoring threads (default: hardware)\n"
-      "  --report PATH         also write a markdown linkage report\n");
+      "  --threads N           worker threads for every pipeline stage\n"
+      "                        (default: SLIM_THREADS env, else hardware)\n"
+      "  --report PATH         also write a markdown linkage report\n"
+      "  --bench_json PATH     also write per-stage wall times as JSON\n"
+      "                        (schema slim-link-bench-v1; see "
+      "docs/BENCHMARKS.md)\n");
 }
 
 }  // namespace
@@ -136,6 +159,44 @@ int main(int argc, char** argv) {
   const slim::Status st = slim::WriteLinksCsv(result->links, path_out);
   if (!st.ok()) slim::tools::Flags::Fail(st.ToString());
   std::fprintf(stderr, "wrote %s\n", path_out.c_str());
+
+  const std::string bench_json_path = flags.GetString("bench_json", "");
+  if (!bench_json_path.empty()) {
+    std::FILE* f = std::fopen(bench_json_path.c_str(), "w");
+    if (f == nullptr) {
+      slim::tools::Flags::Fail("cannot write " + bench_json_path);
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": \"slim-link-bench-v1\",\n"
+        "  \"a\": \"%s\",\n"
+        "  \"b\": \"%s\",\n"
+        "  \"entities_a\": %zu,\n"
+        "  \"entities_b\": %zu,\n"
+        "  \"threads\": %d,\n"
+        "  \"candidate_pairs\": %llu,\n"
+        "  \"possible_pairs\": %llu,\n"
+        "  \"links\": %zu,\n"
+        "  \"seconds\": {\n"
+        "    \"histories\": %.6f,\n"
+        "    \"lsh\": %.6f,\n"
+        "    \"scoring\": %.6f,\n"
+        "    \"matching\": %.6f,\n"
+        "    \"total\": %.6f\n"
+        "  }\n"
+        "}\n",
+        JsonEscape(path_a).c_str(), JsonEscape(path_b).c_str(),
+        a->num_entities(), b->num_entities(),
+        config.threads > 0 ? config.threads : slim::DefaultThreadCount(),
+        static_cast<unsigned long long>(result->candidate_pairs),
+        static_cast<unsigned long long>(result->possible_pairs),
+        result->links.size(), result->seconds_histories, result->seconds_lsh,
+        result->seconds_scoring, result->seconds_matching,
+        result->seconds_total);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", bench_json_path.c_str());
+  }
 
   const std::string report_path = flags.GetString("report", "");
   if (!report_path.empty()) {
