@@ -1,0 +1,372 @@
+// Ingest/egress throughput bench — the data-layer perf record.
+//
+// Synthesizes a mobility dataset, writes it as CSV and SBIN, then times
+// every ingest path: CSV write, CSV read serial (1 thread), CSV read
+// parallel (each entry of --threads), SBIN write, SBIN read. Prints a
+// rows/sec table and writes BENCH_ingest.json (schema
+// slim-bench-ingest-v1). Two gates ride along, mirroring bench_pipeline:
+//
+//   * Determinism: every parallel CSV read must be bit-identical to the
+//     serial read — a mismatch aborts with exit code 1.
+//   * Regression (--baseline FILE): any op slower than 2x its committed
+//     baseline time (same op x threads cell) fails with exit code 1.
+//     Baseline cells under 50 ms are ignored as noise.
+//
+// Flags: --quick (CI-sized row count), --rows N, --threads a,b,...,
+// --out FILE (default BENCH_ingest.json), --baseline FILE.
+// See docs/BENCHMARKS.md.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+namespace slim {
+namespace {
+
+constexpr double kRegressionFactor = 2.0;
+constexpr double kRegressionFloorSeconds = 0.05;
+
+struct IngestRun {
+  std::string op;  // "csv_write", "csv_read", "sbin_write", "sbin_read"
+  int threads = 1;
+  double seconds = 0.0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+};
+
+// One (op, threads, seconds) cell read back from a BENCH_ingest.json.
+// Scans for the known keys in emission order, like bench_util's
+// ParsePipelineRuns.
+struct IngestRunRecord {
+  std::string op;
+  int threads = 0;
+  double seconds = -1.0;
+};
+
+std::vector<IngestRunRecord> ParseIngestRuns(const std::string& json) {
+  std::vector<IngestRunRecord> runs;
+  auto number_after = [&](size_t pos) -> double {
+    while (pos < json.size() &&
+           (std::isspace(static_cast<unsigned char>(json[pos])) != 0 ||
+            json[pos] == ':')) {
+      ++pos;
+    }
+    return pos < json.size() ? std::strtod(json.c_str() + pos, nullptr) : -1.0;
+  };
+  size_t pos = 0;
+  while ((pos = json.find("\"op\"", pos)) != std::string::npos) {
+    IngestRunRecord run;
+    const size_t q1 = json.find('"', pos + sizeof("\"op\"") - 1);
+    const size_t q2 = q1 == std::string::npos ? q1 : json.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    run.op = json.substr(q1 + 1, q2 - q1 - 1);
+    const size_t threads_pos = json.find("\"threads\"", q2);
+    const size_t seconds_pos = json.find("\"seconds\"", q2);
+    if (threads_pos == std::string::npos || seconds_pos == std::string::npos) {
+      break;
+    }
+    run.threads = static_cast<int>(
+        number_after(threads_pos + sizeof("\"threads\"") - 1));
+    run.seconds = number_after(seconds_pos + sizeof("\"seconds\"") - 1);
+    runs.push_back(std::move(run));
+    pos = seconds_pos;
+  }
+  return runs;
+}
+
+// Synthetic rows for the ingest bench: ingest cost does not care about
+// mobility realism, only about row count and field width, so uniform
+// coordinates are enough and orders of magnitude cheaper to generate than
+// the check-in workload.
+LocationDataset SynthesizeRows(uint64_t rows) {
+  Rng rng(20260730);
+  constexpr uint64_t kRecordsPerEntity = 50;
+  std::vector<Record> records;
+  records.reserve(rows);
+  // Quantize to 1e-7 degrees so the CSV representation (7 decimals) is
+  // exact and every read path must agree bit-for-bit.
+  auto quantize = [](double v) { return std::round(v * 1e7) / 1e7; };
+  for (uint64_t i = 0; i < rows; ++i) {
+    Record r;
+    r.entity = static_cast<EntityId>(i / kRecordsPerEntity);
+    r.location.lat_deg = quantize(rng.NextDouble(-90.0, 90.0));
+    r.location.lng_deg = quantize(rng.NextDouble(-180.0, 180.0));
+    r.timestamp = 1500000000 + static_cast<int64_t>(i % kRecordsPerEntity) *
+                                   600;
+    records.push_back(r);
+  }
+  return LocationDataset::FromRecords("ingest", std::move(records));
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Best wall time of `repeats` calls (reads are cheap to repeat; the best
+// run is the least noisy estimate of the achievable throughput).
+template <typename Fn>
+double BestOf(int repeats, const Fn& fn) {
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = Seconds(t0);
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  uint64_t rows = 0;
+  std::string out_path = "BENCH_ingest.json";
+  std::string baseline_path;
+  std::string threads_csv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      SLIM_CHECK_MSG(i + 1 < argc, "flag needs a value");
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out");
+    } else if (arg == "--baseline" || arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline");
+    } else if (arg == "--rows" || arg.rfind("--rows=", 0) == 0) {
+      const auto parsed = ParseInt64(value("--rows"));
+      SLIM_CHECK_MSG(parsed.ok() && *parsed > 0,
+                     "--rows expects a positive integer");
+      rows = static_cast<uint64_t>(*parsed);
+    } else if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+      threads_csv = value("--threads");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ingest [--quick] [--rows N] "
+                   "[--threads a,b,...] [--out FILE] [--baseline FILE]\n");
+      return 2;
+    }
+  }
+  if (rows == 0) rows = quick ? 400000 : 2000000;
+  std::vector<int> thread_list;
+  if (threads_csv.empty()) {
+    thread_list = {1, DefaultThreadCount()};
+    if (thread_list[1] == 1) thread_list.pop_back();
+  } else {
+    std::stringstream ss(threads_csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const long v = std::strtol(item.c_str(), nullptr, 10);
+      SLIM_CHECK_MSG(v > 0, "--threads entries must be positive");
+      thread_list.push_back(static_cast<int>(v));
+    }
+    SLIM_CHECK_MSG(!thread_list.empty(), "empty --threads list");
+    // The serial run is the determinism reference and the baseline's
+    // csv_read@1 cell — always measure it, whatever the user listed.
+    if (std::find(thread_list.begin(), thread_list.end(), 1) ==
+        thread_list.end()) {
+      thread_list.insert(thread_list.begin(), 1);
+    } else if (thread_list.front() != 1) {
+      thread_list.erase(
+          std::find(thread_list.begin(), thread_list.end(), 1));
+      thread_list.insert(thread_list.begin(), 1);
+    }
+  }
+  const int read_repeats = 3;
+
+  std::printf("==================================================\n");
+  std::printf("ingest bench — CSV serial vs parallel vs SBIN, rows/sec\n");
+  std::printf("rows: %llu%s; hardware threads: %u\n",
+              static_cast<unsigned long long>(rows),
+              quick ? " (quick mode)" : "",
+              std::thread::hardware_concurrency());
+  std::printf("==================================================\n");
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("slim_bench_ingest_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string csv_path = (dir / "ingest.csv").string();
+  const std::string sbin_path = (dir / "ingest.sbin").string();
+
+  const LocationDataset master = SynthesizeRows(rows);
+  std::vector<IngestRun> runs;
+  bool deterministic = true;
+
+  // Writes (the second call overwrites; timing the steady state).
+  {
+    IngestRun run{"csv_write", 1, 0.0, rows, 0};
+    run.seconds = BestOf(2, [&] {
+      const Status st = WriteCsv(master, csv_path);
+      SLIM_CHECK_MSG(st.ok(), st.ToString().c_str());
+    });
+    run.bytes = std::filesystem::file_size(csv_path);
+    runs.push_back(run);
+  }
+  {
+    IngestRun run{"sbin_write", 1, 0.0, rows, 0};
+    run.seconds = BestOf(2, [&] {
+      const Status st = WriteSbin(master, sbin_path);
+      SLIM_CHECK_MSG(st.ok(), st.ToString().c_str());
+    });
+    run.bytes = std::filesystem::file_size(sbin_path);
+    runs.push_back(run);
+  }
+  const uint64_t csv_bytes = runs[0].bytes;
+  const uint64_t sbin_bytes = runs[1].bytes;
+
+  // CSV reads: serial reference first, then the parallel settings; each
+  // must reproduce the serial result exactly.
+  LocationDataset serial_read;
+  for (const int threads : thread_list) {
+    CsvReadOptions opt;
+    opt.io_threads = threads;
+    LocationDataset last;
+    IngestRun run{"csv_read", threads, 0.0, rows, csv_bytes};
+    run.seconds = BestOf(read_repeats, [&] {
+      auto ds = ReadCsv(csv_path, "ingest", opt);
+      SLIM_CHECK_MSG(ds.ok(), ds.status().ToString().c_str());
+      last = std::move(ds.value());
+    });
+    if (threads == thread_list.front()) {
+      serial_read = std::move(last);
+    } else if (last.records() != serial_read.records()) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: csv_read at %d threads differs "
+                   "from the %d-thread read\n",
+                   threads, thread_list.front());
+      deterministic = false;
+    }
+    runs.push_back(run);
+  }
+  {
+    LocationDataset last;
+    IngestRun run{"sbin_read", 1, 0.0, rows, sbin_bytes};
+    run.seconds = BestOf(read_repeats, [&] {
+      auto ds = ReadSbin(sbin_path, "ingest");
+      SLIM_CHECK_MSG(ds.ok(), ds.status().ToString().c_str());
+      last = std::move(ds.value());
+    });
+    if (last.records() != serial_read.records()) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: sbin_read differs from csv_read "
+                   "(lossy round-trip?)\n");
+      deterministic = false;
+    }
+    runs.push_back(run);
+  }
+
+  TablePrinter table({"op", "threads", "MB", "seconds", "rows_per_sec"});
+  for (const IngestRun& run : runs) {
+    table.AddRow({run.op, std::to_string(run.threads),
+                  Fmt(static_cast<double>(run.bytes) / (1024.0 * 1024.0), 1),
+                  Fmt(run.seconds, 3),
+                  FormatWithCommas(static_cast<int64_t>(
+                      run.seconds > 0.0 ? static_cast<double>(run.rows) /
+                                              run.seconds
+                                        : 0.0))});
+  }
+  table.Print();
+
+  double csv_serial_read = 0.0, sbin_read = 0.0;
+  for (const IngestRun& run : runs) {
+    if (run.op == "csv_read" && run.threads == thread_list.front()) {
+      csv_serial_read = run.seconds;
+    }
+    if (run.op == "sbin_read") sbin_read = run.seconds;
+  }
+  if (sbin_read > 0.0) {
+    std::printf("sbin_read is %.1fx the speed of serial csv_read "
+                "(%.0f%% of the bytes)\n",
+                csv_serial_read / sbin_read,
+                100.0 * static_cast<double>(sbin_bytes) /
+                    static_cast<double>(csv_bytes));
+  }
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").Value("slim-bench-ingest-v1");
+  json.Key("quick").Value(quick);
+  json.Key("rows").Value(rows);
+  json.Key("csv_bytes").Value(csv_bytes);
+  json.Key("sbin_bytes").Value(sbin_bytes);
+  json.Key("hardware_threads")
+      .Value(static_cast<int>(std::thread::hardware_concurrency()));
+  json.Key("deterministic").Value(deterministic);
+  json.Key("runs").BeginArray();
+  for (const IngestRun& run : runs) {
+    json.BeginObject();
+    json.Key("op").Value(run.op);
+    json.Key("threads").Value(run.threads);
+    json.Key("seconds").Value(run.seconds);
+    json.Key("rows_per_sec")
+        .Value(run.seconds > 0.0
+                   ? static_cast<double>(run.rows) / run.seconds
+                   : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    std::filesystem::remove_all(dir);
+    return 2;
+  }
+  out << json.str();
+  out.close();
+  std::printf("wrote %s (%zu runs)\n", out_path.c_str(), runs.size());
+  std::filesystem::remove_all(dir);
+
+  if (!deterministic) return 1;
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<IngestRunRecord> baseline =
+        ParseIngestRuns(buffer.str());
+    SLIM_CHECK_MSG(!baseline.empty(), "baseline has no runs");
+    int regressions = 0, compared = 0;
+    for (const IngestRun& run : runs) {
+      for (const IngestRunRecord& b : baseline) {
+        if (b.op != run.op || b.threads != run.threads) continue;
+        if (b.seconds < kRegressionFloorSeconds) continue;  // noise floor
+        ++compared;
+        if (run.seconds > kRegressionFactor * b.seconds) {
+          std::fprintf(stderr,
+                       "REGRESSION at op %s, %d threads: %.3fs vs baseline "
+                       "%.3fs (> %.1fx)\n",
+                       run.op.c_str(), run.threads, run.seconds, b.seconds,
+                       kRegressionFactor);
+          ++regressions;
+        }
+      }
+    }
+    std::printf("baseline gate: %d op comparisons vs %s, %d regressions\n",
+                compared, baseline_path.c_str(), regressions);
+    if (regressions > 0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slim
+
+int main(int argc, char** argv) { return slim::Main(argc, argv); }

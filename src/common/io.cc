@@ -1,0 +1,83 @@
+#include "common/io.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace slim {
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  out->clear();
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size >= 0) {
+    out->resize(static_cast<size_t>(size));
+    in.seekg(0);
+    if (size > 0) in.read(out->data(), size);
+    if (!in) return Status::IoError("read failed: " + path);
+    return Status::Ok();
+  }
+  // Non-seekable input: the seeks failed without consuming anything, so
+  // clear the error state and stream from the start.
+  in.clear();
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    out->append(buf, static_cast<size_t>(in.gcount()));
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return Status::Ok();
+}
+
+Status FileContents::Open(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for read: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      map_ = map;
+      map_size_ = static_cast<size_t>(st.st_size);
+      return Status::Ok();
+    }
+    // mmap can fail on exotic filesystems — fall through to the copy; the
+    // fd's offset is untouched.
+  }
+  // Stream from the fd we already hold — never close and re-open the
+  // path: a FIFO discards its buffered bytes the moment the last reader
+  // closes, and a fresh open could block forever or race the writer.
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      fallback_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Status::IoError("read failed: " + path);
+  }
+  ::close(fd);
+  return Status::Ok();
+#else
+  return ReadFileToString(path, &fallback_);
+#endif
+}
+
+FileContents::~FileContents() {
+#ifndef _WIN32
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+}
+
+}  // namespace slim

@@ -1,0 +1,96 @@
+// Whole-file I/O helpers shared by the dataset readers/writers.
+#ifndef SLIM_COMMON_IO_H_
+#define SLIM_COMMON_IO_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace slim {
+
+/// Reads the entire file at `path` into `*out`. Seekable files are sized
+/// up front and read in one call; non-seekable inputs (FIFOs, character
+/// devices) fall back to streaming, so `slim_link --a <(zcat a.csv.gz)`
+/// keeps working.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Read-only access to a file's bytes for the dataset parsers. Regular
+/// files are memory-mapped (no copy — a 10 GB CSV does not need 10 GB of
+/// heap on top of the parsed records); FIFOs, process substitution, and
+/// anything else unmappable fall back to ReadFileToString. The view stays
+/// valid for this object's lifetime.
+class FileContents {
+ public:
+  FileContents() = default;
+  ~FileContents();
+  FileContents(const FileContents&) = delete;
+  FileContents& operator=(const FileContents&) = delete;
+
+  /// Loads `path`. On failure returns the same IoError statuses as
+  /// ReadFileToString.
+  Status Open(const std::string& path);
+
+  std::string_view view() const {
+    return map_ != nullptr
+               ? std::string_view(static_cast<const char*>(map_), map_size_)
+               : std::string_view(fallback_);
+  }
+
+ private:
+  std::string fallback_;
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+};
+
+/// Buffered whole-file writer: append to buf(), call FlushIfFull() after
+/// each record, and Finish() once at the end. Keeps the write path to one
+/// syscall per ~1 MB regardless of record size.
+///
+///   FileWriter w(path);
+///   if (!w.ok()) return Status::IoError("cannot open for write: " + path);
+///   w.buf() += ...;
+///   w.FlushIfFull();
+///   return w.Finish(path);
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : out_(path, std::ios::trunc | std::ios::binary) {
+    buf_.reserve(kFlushBytes);
+  }
+
+  /// False when the file could not be opened for writing.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  std::string& buf() { return buf_; }
+
+  /// Writes the buffer through once it reaches the flush threshold.
+  void FlushIfFull() {
+    if (buf_.size() >= kFlushBytes) Flush();
+  }
+
+  /// Flushes the remainder and returns the final stream status.
+  Status Finish(const std::string& path_for_error) {
+    Flush();
+    out_.flush();
+    if (!out_) return Status::IoError("write failed: " + path_for_error);
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr size_t kFlushBytes = 1 << 20;
+
+  void Flush() {
+    if (buf_.empty()) return;
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+
+  std::ofstream out_;
+  std::string buf_;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_IO_H_

@@ -1,12 +1,13 @@
 #include "common/strings.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <cerrno>
 #include <cctype>
 #include <cstring>
+#include <system_error>
 
 namespace slim {
 
@@ -29,30 +30,53 @@ std::string_view StripAsciiWhitespace(std::string_view s) {
   return s.substr(b, e - b);
 }
 
+std::string_view StripUtf8Bom(std::string_view s) {
+  if (s.size() >= 3 && static_cast<unsigned char>(s[0]) == 0xEF &&
+      static_cast<unsigned char>(s[1]) == 0xBB &&
+      static_cast<unsigned char>(s[2]) == 0xBF) {
+    s.remove_prefix(3);
+  }
+  return s;
+}
+
+namespace {
+
+// std::from_chars rejects the explicit '+' sign strtoll/strtod accepted;
+// keep accepting it for compatibility with hand-written input files.
+std::string_view DropLeadingPlus(std::string_view s) {
+  if (s.size() > 1 && s.front() == '+' && s[1] != '-' && s[1] != '+') {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
 Result<int64_t> ParseInt64(std::string_view s) {
   s = StripAsciiWhitespace(s);
   if (s.empty()) return Status::InvalidArgument("empty integer field");
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (errno == ERANGE)
-    return Status::OutOfRange("integer out of range: " + buf);
-  if (end != buf.c_str() + buf.size())
-    return Status::InvalidArgument("not an integer: " + buf);
-  return static_cast<int64_t>(v);
+  const std::string_view digits = DropLeadingPlus(s);
+  int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v, 10);
+  if (ec == std::errc::result_out_of_range)
+    return Status::OutOfRange("integer out of range: " + std::string(s));
+  if (ec != std::errc() || ptr != digits.data() + digits.size())
+    return Status::InvalidArgument("not an integer: " + std::string(s));
+  return v;
 }
 
 Result<double> ParseDouble(std::string_view s) {
   s = StripAsciiWhitespace(s);
   if (s.empty()) return Status::InvalidArgument("empty double field");
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(buf.c_str(), &end);
-  if (errno == ERANGE) return Status::OutOfRange("double out of range: " + buf);
-  if (end != buf.c_str() + buf.size())
-    return Status::InvalidArgument("not a double: " + buf);
+  const std::string_view digits = DropLeadingPlus(s);
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  if (ec == std::errc::result_out_of_range)
+    return Status::OutOfRange("double out of range: " + std::string(s));
+  if (ec != std::errc() || ptr != digits.data() + digits.size())
+    return Status::InvalidArgument("not a double: " + std::string(s));
   return v;
 }
 
@@ -70,6 +94,22 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+std::string FormatFixed(double v, int precision) {
+  if (precision < 0) precision = 0;
+  char stack_buf[64];
+  auto r = std::to_chars(stack_buf, stack_buf + sizeof(stack_buf), v,
+                         std::chars_format::fixed, precision);
+  if (r.ec == std::errc()) return std::string(stack_buf, r.ptr);
+  // Fixed formatting of a huge magnitude: up to 309 integer digits plus
+  // sign, point, and the fractional digits.
+  std::string big(320 + static_cast<size_t>(precision), '\0');
+  r = std::to_chars(big.data(), big.data() + big.size(), v,
+                    std::chars_format::fixed, precision);
+  big.resize(r.ec == std::errc() ? static_cast<size_t>(r.ptr - big.data())
+                                 : 0);
+  return big;
 }
 
 std::string FormatWithCommas(int64_t n) {

@@ -16,9 +16,22 @@ std::vector<std::string_view> SplitString(std::string_view s, char delim);
 /// Removes leading/trailing ASCII whitespace.
 std::string_view StripAsciiWhitespace(std::string_view s);
 
-/// Strict parses; the whole (stripped) string must be consumed.
+/// Removes a leading UTF-8 byte-order mark (EF BB BF) if present. Text
+/// editors on some platforms prepend one; file readers strip it before
+/// looking at the first line.
+std::string_view StripUtf8Bom(std::string_view s);
+
+/// Strict parses; the whole (stripped) string must be consumed. Both are
+/// locale-independent (std::from_chars): a comma-decimal global locale
+/// neither corrupts nor rejects "3.25". A leading '+' is accepted.
 Result<int64_t> ParseInt64(std::string_view s);
 Result<double> ParseDouble(std::string_view s);
+
+/// Locale-independent fixed-point formatting, equivalent to what
+/// printf("%.*f") produces under the "C" locale regardless of the global
+/// locale (std::to_chars). Writers use this so a comma-decimal locale can
+/// never corrupt a CSV file.
+std::string FormatFixed(double v, int precision);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

@@ -1,58 +1,193 @@
 #include "data/csv.h"
 
-#include <fstream>
+#include <algorithm>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/io.h"
+#include "common/parallel.h"
 #include "common/strings.h"
+#include "data/dataset_io.h"
 
 namespace slim {
 
 Status WriteCsv(const LocationDataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "entity_id,lat,lng,timestamp\n";
+  FileWriter out(path);
+  if (!out.ok()) return Status::IoError("cannot open for write: " + path);
+  out.buf() = "entity_id,lat,lng,timestamp\n";
   for (const Record& r : dataset.records()) {
-    out << r.entity << ',' << StrFormat("%.7f", r.location.lat_deg) << ','
-        << StrFormat("%.7f", r.location.lng_deg) << ',' << r.timestamp
-        << '\n';
+    std::string& buf = out.buf();
+    buf += std::to_string(r.entity);
+    buf += ',';
+    buf += FormatFixed(r.location.lat_deg, 7);
+    buf += ',';
+    buf += FormatFixed(r.location.lng_deg, 7);
+    buf += ',';
+    buf += std::to_string(r.timestamp);
+    buf += '\n';
+    out.FlushIfFull();
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return out.Finish(path);
 }
 
-Result<LocationDataset> ReadCsv(const std::string& path,
-                                const std::string& name) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::string line;
-  size_t line_no = 0;
+namespace {
+
+constexpr size_t kNoError = static_cast<size_t>(-1);
+
+// First malformed line of a chunk: the byte offset of its line start (the
+// global line number is derived lazily, only on the error path) plus the
+// ready-to-prefix detail message.
+struct LineError {
+  size_t offset = kNoError;
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+};
+
+struct ChunkResult {
   std::vector<Record> records;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto stripped = StripAsciiWhitespace(line);
-    if (stripped.empty()) continue;
-    if (line_no == 1 && stripped.rfind("entity_id", 0) == 0) continue;  // header
-    const auto fields = SplitString(stripped, ',');
+  LineError error;
+};
+
+// Parses every line whose first byte lies in [begin, end) of `data`. The
+// caller aligns chunk boundaries to line starts, so no line straddles two
+// chunks. Stops at the chunk's first malformed line.
+void ParseChunk(std::string_view data, size_t begin, size_t end,
+                ChunkResult* out) {
+  out->records.reserve((end - begin) / 24 + 1);
+  size_t pos = begin;
+  while (pos < end) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = data.size();
+    const size_t line_start = pos;
+    const std::string_view line =
+        StripAsciiWhitespace(data.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const auto fields = SplitString(line, ',');
     if (fields.size() != 4) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 4 fields, got %zu", path.c_str(),
-                    line_no, fields.size()));
+      out->error = {line_start, StatusCode::kInvalidArgument,
+                    StrFormat("expected 4 fields, got %zu", fields.size())};
+      return;
     }
     auto entity = ParseInt64(fields[0]);
     auto lat = ParseDouble(fields[1]);
     auto lng = ParseDouble(fields[2]);
     auto ts = ParseInt64(fields[3]);
     if (!entity.ok() || !lat.ok() || !lng.ok() || !ts.ok()) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: malformed record", path.c_str(), line_no));
+      out->error = {line_start, StatusCode::kInvalidArgument,
+                    "malformed record"};
+      return;
     }
-    const LatLng loc = LatLng{*lat, *lng}.Normalized();
-    if (std::abs(*lat) > 90.0 || std::abs(*lng) > 360.0) {
-      return Status::OutOfRange(
-          StrFormat("%s:%zu: coordinate out of range", path.c_str(), line_no));
+    // Validate the raw values, before Normalized() could mask them.
+    if (!RawCoordinateInRange(*lat, *lng)) {
+      out->error = {line_start, StatusCode::kOutOfRange,
+                    std::isfinite(*lat) && std::isfinite(*lng)
+                        ? "coordinate out of range"
+                        : "non-finite coordinate"};
+      return;
     }
-    records.push_back(Record{*entity, loc, *ts});
+    out->records.push_back(
+        Record{*entity, LatLng{*lat, *lng}.Normalized(), *ts});
+  }
+}
+
+}  // namespace
+
+Result<LocationDataset> ReadCsv(const std::string& path,
+                                const std::string& name,
+                                const CsvReadOptions& options) {
+  FileContents content;
+  SLIM_RETURN_NOT_OK(content.Open(path));
+  return ParseCsv(content.view(), name, options, path);
+}
+
+Result<LocationDataset> ParseCsv(std::string_view content,
+                                 const std::string& name,
+                                 const CsvReadOptions& options,
+                                 const std::string& source) {
+  const std::string_view data = content;
+  size_t start = data.size() - StripUtf8Bom(data).size();
+
+  // Skip the header when the first non-blank line starts with "entity_id"
+  // — wherever that line is (leading blank lines are fine).
+  for (size_t pos = start; pos < data.size();) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = data.size();
+    const std::string_view line =
+        StripAsciiWhitespace(data.substr(pos, eol - pos));
+    if (!line.empty()) {
+      if (line.rfind("entity_id", 0) == 0) start = std::min(eol + 1, data.size());
+      break;
+    }
+    pos = eol + 1;
+  }
+
+  // Chunk layout: a pure function of (file content, start, io_threads,
+  // min_chunk_bytes) — never of scheduling — so the chunk-ordered merge
+  // below yields the same dataset at every thread count.
+  const int threads =
+      options.io_threads <= 0 ? DefaultThreadCount() : options.io_threads;
+  const size_t body = data.size() - start;
+  const size_t by_size =
+      options.min_chunk_bytes == 0 ? body : body / options.min_chunk_bytes;
+  const size_t num_chunks = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(threads), by_size));
+  std::vector<size_t> bounds{start};
+  for (size_t i = 1; i < num_chunks; ++i) {
+    const size_t target = start + i * (body / num_chunks);
+    const size_t nl = data.find('\n', target);
+    const size_t aligned = nl == std::string_view::npos ? data.size() : nl + 1;
+    if (aligned > bounds.back() && aligned < data.size()) {
+      bounds.push_back(aligned);
+    }
+  }
+
+  std::vector<ChunkResult> chunks(bounds.size());
+  auto parse_range = [&](size_t cb, size_t ce, int) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t end = c + 1 < bounds.size() ? bounds[c + 1] : data.size();
+      ParseChunk(data, bounds[c], end, &chunks[c]);
+    }
+  };
+  if (bounds.size() == 1) {
+    parse_range(0, 1, 0);
+  } else {
+    ParallelFor(bounds.size(), parse_range, threads);
+  }
+
+  // Earliest malformed line across all chunks wins, matching what a serial
+  // scan would have reported.
+  const LineError* first = nullptr;
+  size_t total = 0;
+  for (const ChunkResult& chunk : chunks) {
+    total += chunk.records.size();
+    if (chunk.error.offset != kNoError &&
+        (first == nullptr || chunk.error.offset < first->offset)) {
+      first = &chunk.error;
+    }
+  }
+  if (first != nullptr) {
+    const auto line_no =
+        1 + std::count(content.begin(),
+                       content.begin() + static_cast<std::ptrdiff_t>(
+                                             first->offset),
+                       '\n');
+    std::string msg = StrFormat("%s:%lld: %s", source.c_str(),
+                                static_cast<long long>(line_no),
+                                first->detail.c_str());
+    return first->code == StatusCode::kOutOfRange
+               ? Status::OutOfRange(std::move(msg))
+               : Status::InvalidArgument(std::move(msg));
+  }
+
+  if (chunks.size() == 1) {
+    return LocationDataset::FromRecords(name, std::move(chunks[0].records));
+  }
+  std::vector<Record> records;
+  records.reserve(total);
+  for (ChunkResult& chunk : chunks) {
+    records.insert(records.end(), chunk.records.begin(), chunk.records.end());
   }
   return LocationDataset::FromRecords(name, std::move(records));
 }

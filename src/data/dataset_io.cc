@@ -1,0 +1,81 @@
+#include "data/dataset_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/io.h"
+#include "data/csv.h"
+#include "data/sbin.h"
+
+namespace slim {
+
+const char* DatasetFormatName(DatasetFormat format) {
+  switch (format) {
+    case DatasetFormat::kAuto:
+      return "auto";
+    case DatasetFormat::kCsv:
+      return "csv";
+    case DatasetFormat::kSbin:
+      return "sbin";
+  }
+  return "unknown";
+}
+
+Result<DatasetFormat> ParseDatasetFormat(std::string_view s) {
+  if (s == "auto") return DatasetFormat::kAuto;
+  if (s == "csv") return DatasetFormat::kCsv;
+  if (s == "sbin") return DatasetFormat::kSbin;
+  return Status::InvalidArgument("unknown dataset format: \"" +
+                                 std::string(s) +
+                                 "\" (expected auto|csv|sbin)");
+}
+
+Result<DatasetFormat> SniffDatasetFormat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char head[sizeof(kSbinMagic)] = {};
+  in.read(head, sizeof(head));
+  if (in.gcount() == static_cast<std::streamsize>(sizeof(head)) &&
+      std::memcmp(head, kSbinMagic, sizeof(head)) == 0) {
+    return DatasetFormat::kSbin;
+  }
+  return DatasetFormat::kCsv;
+}
+
+Result<LocationDataset> ReadDataset(const std::string& path,
+                                    const std::string& name,
+                                    const DatasetIoOptions& options) {
+  CsvReadOptions csv;
+  csv.io_threads = options.io_threads;
+  switch (options.format) {
+    case DatasetFormat::kCsv:
+      return ReadCsv(path, name, csv);
+    case DatasetFormat::kSbin:
+      return ReadSbin(path, name);
+    case DatasetFormat::kAuto:
+      break;
+  }
+  // Auto-detection loads the file once and sniffs the in-memory bytes —
+  // never a second open, so pipes and process substitution work here too.
+  FileContents content;
+  SLIM_RETURN_NOT_OK(content.Open(path));
+  const std::string_view bytes = content.view();
+  if (bytes.size() >= sizeof(kSbinMagic) &&
+      std::memcmp(bytes.data(), kSbinMagic, sizeof(kSbinMagic)) == 0) {
+    return ParseSbin(bytes, name, path);
+  }
+  return ParseCsv(bytes, name, csv, path);
+}
+
+Status WriteDataset(const LocationDataset& dataset, const std::string& path,
+                    DatasetFormat format) {
+  if (format == DatasetFormat::kAuto) {
+    format = path.size() >= 5 && path.compare(path.size() - 5, 5, ".sbin") == 0
+                 ? DatasetFormat::kSbin
+                 : DatasetFormat::kCsv;
+  }
+  return format == DatasetFormat::kSbin ? WriteSbin(dataset, path)
+                                        : WriteCsv(dataset, path);
+}
+
+}  // namespace slim

@@ -1,0 +1,68 @@
+// Format-independent dataset ingest/egress: one entry point that speaks
+// every on-disk dataset format the library knows (CSV and SBIN today),
+// with auto-detection so callers never have to care which one a file is.
+//
+// Readers share one validation contract, applied to the *raw* values in
+// the file before any normalization: entity/timestamp must parse, both
+// coordinates must be finite, |lat| <= 90 and |lng| <= 180. Records are
+// stored normalized (lng wrapped into [-180, 180)).
+#ifndef SLIM_DATA_DATASET_IO_H_
+#define SLIM_DATA_DATASET_IO_H_
+
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace slim {
+
+/// On-disk dataset formats. kAuto means: sniff the file content when
+/// reading (SBIN magic vs text), pick by extension when writing (".sbin"
+/// -> SBIN, anything else -> CSV).
+enum class DatasetFormat { kAuto = 0, kCsv, kSbin };
+
+/// "auto", "csv", or "sbin".
+const char* DatasetFormatName(DatasetFormat format);
+
+/// Parses a --format flag value ("auto" | "csv" | "sbin").
+Result<DatasetFormat> ParseDatasetFormat(std::string_view s);
+
+/// The shared raw-coordinate validation every reader applies before
+/// normalizing: finite, |lat| <= 90, |lng| <= 180 (180 itself is accepted
+/// and wraps to -180).
+inline bool RawCoordinateInRange(double lat_deg, double lng_deg) {
+  return std::isfinite(lat_deg) && std::isfinite(lng_deg) &&
+         std::abs(lat_deg) <= 90.0 && std::abs(lng_deg) <= 180.0;
+}
+
+struct DatasetIoOptions {
+  DatasetFormat format = DatasetFormat::kAuto;
+  /// Worker threads for formats with a parallel parser (CSV). <= 0 means
+  /// DefaultThreadCount(). Results are bit-identical at every setting.
+  int io_threads = 0;
+};
+
+/// Determines the on-disk format of `path` from its first bytes (the SBIN
+/// magic vs anything else = CSV). Fails only on I/O errors. Consumes the
+/// file's first bytes, so only use it on regular re-openable files;
+/// ReadDataset sniffs in memory instead and has no such restriction.
+Result<DatasetFormat> SniffDatasetFormat(const std::string& path);
+
+/// Reads a dataset named `name` from `path` in `options.format`
+/// (auto-detected by default). Works on non-seekable inputs (FIFOs,
+/// process substitution) in every format mode: auto-detection reads the
+/// file once and sniffs the bytes in memory.
+Result<LocationDataset> ReadDataset(const std::string& path,
+                                    const std::string& name,
+                                    const DatasetIoOptions& options = {});
+
+/// Writes `dataset` to `path` in `format` (kAuto: by extension).
+/// Overwrites any existing file.
+Status WriteDataset(const LocationDataset& dataset, const std::string& path,
+                    DatasetFormat format = DatasetFormat::kAuto);
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_DATASET_IO_H_

@@ -1,0 +1,122 @@
+#include "data/sbin.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "data/dataset_io.h"
+
+namespace slim {
+namespace {
+
+// Explicit little-endian byte codecs: SBIN files are portable across hosts
+// regardless of native endianness.
+void PutU32Le(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64Le(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32Le(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64Le(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteSbin(const LocationDataset& dataset, const std::string& path) {
+  FileWriter out(path);
+  if (!out.ok()) return Status::IoError("cannot open for write: " + path);
+
+  const std::vector<Record>& records = dataset.records();
+  out.buf().append(kSbinMagic, sizeof(kSbinMagic));
+  PutU32Le(kSbinVersion, &out.buf());
+  PutU64Le(static_cast<uint64_t>(records.size()), &out.buf());
+  for (const Record& r : records) {
+    std::string& buf = out.buf();
+    PutU64Le(static_cast<uint64_t>(r.entity), &buf);
+    PutU64Le(std::bit_cast<uint64_t>(r.location.lat_deg), &buf);
+    PutU64Le(std::bit_cast<uint64_t>(r.location.lng_deg), &buf);
+    PutU64Le(static_cast<uint64_t>(r.timestamp), &buf);
+    out.FlushIfFull();
+  }
+  return out.Finish(path);
+}
+
+Result<LocationDataset> ReadSbin(const std::string& path,
+                                 const std::string& name) {
+  FileContents content;
+  SLIM_RETURN_NOT_OK(content.Open(path));
+  return ParseSbin(content.view(), name, path);
+}
+
+Result<LocationDataset> ParseSbin(std::string_view content,
+                                  const std::string& name,
+                                  const std::string& source) {
+  if (content.size() < kSbinHeaderBytes) {
+    return Status::InvalidArgument(
+        StrFormat("%s: too short for an SBIN header (%zu bytes)",
+                  source.c_str(), content.size()));
+  }
+  if (std::memcmp(content.data(), kSbinMagic, sizeof(kSbinMagic)) != 0) {
+    return Status::InvalidArgument(source + ": bad magic (not an SBIN file)");
+  }
+  const uint32_t version = GetU32Le(content.data() + 4);
+  if (version != kSbinVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported SBIN version %u (expected %u)",
+                  source.c_str(), version, kSbinVersion));
+  }
+  const uint64_t count = GetU64Le(content.data() + 8);
+  const uint64_t max_count =
+      (std::numeric_limits<uint64_t>::max() - kSbinHeaderBytes) /
+      kSbinRecordBytes;
+  if (count > max_count ||
+      content.size() != kSbinHeaderBytes + count * kSbinRecordBytes) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: header says %llu records (%llu bytes), file has %zu bytes",
+        source.c_str(), static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(
+            count <= max_count ? kSbinHeaderBytes + count * kSbinRecordBytes
+                               : 0),
+        content.size()));
+  }
+
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(count));
+  const char* p = content.data() + kSbinHeaderBytes;
+  for (uint64_t i = 0; i < count; ++i, p += kSbinRecordBytes) {
+    const auto entity = static_cast<int64_t>(GetU64Le(p));
+    const double lat = std::bit_cast<double>(GetU64Le(p + 8));
+    const double lng = std::bit_cast<double>(GetU64Le(p + 16));
+    const auto timestamp = static_cast<int64_t>(GetU64Le(p + 24));
+    if (!RawCoordinateInRange(lat, lng)) {
+      return Status::OutOfRange(StrFormat(
+          "%s: record %llu: %s", source.c_str(),
+          static_cast<unsigned long long>(i),
+          std::isfinite(lat) && std::isfinite(lng)
+              ? "coordinate out of range"
+              : "non-finite coordinate"));
+    }
+    records.push_back(Record{entity, LatLng{lat, lng}.Normalized(), timestamp});
+  }
+  return LocationDataset::FromRecords(name, std::move(records));
+}
+
+}  // namespace slim

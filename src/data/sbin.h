@@ -1,0 +1,54 @@
+// SBIN v1 — the compact binary dataset format.
+//
+// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+//
+//   offset  size  field
+//   0       4     magic "SBIN"
+//   4       4     format version (currently 1), uint32
+//   8       8     record count N, uint64
+//   16      32*N  records: {entity int64, lat double, lng double,
+//                           timestamp int64}
+//
+// The file size must be exactly 16 + 32*N bytes; anything else is rejected
+// as truncated or trailing garbage. Coordinates are validated like CSV
+// input (finite, |lat| <= 90, |lng| <= 180) so a corrupt file cannot smuggle
+// NaNs into a dataset. Reading is a single buffer scan — no text parsing —
+// which is what makes SBIN the fast path for large corpora (see
+// bench/bench_ingest.cc for measured rows/sec).
+#ifndef SLIM_DATA_SBIN_H_
+#define SLIM_DATA_SBIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace slim {
+
+inline constexpr char kSbinMagic[4] = {'S', 'B', 'I', 'N'};
+inline constexpr uint32_t kSbinVersion = 1;
+inline constexpr size_t kSbinHeaderBytes = 16;
+inline constexpr size_t kSbinRecordBytes = 32;
+
+/// Writes `dataset` to `path` in SBIN v1. Overwrites any existing file.
+Status WriteSbin(const LocationDataset& dataset, const std::string& path);
+
+/// Reads an SBIN file into a dataset named `name`. Fails with a
+/// path-prefixed message on bad magic, unsupported version, size mismatch,
+/// or out-of-range coordinates (the offending record index is named).
+/// Non-seekable inputs (FIFOs, process substitution) are supported.
+Result<LocationDataset> ReadSbin(const std::string& path,
+                                 const std::string& name);
+
+/// Parses SBIN `content` already in memory (same semantics as ReadSbin).
+/// `source` names the input in error messages.
+Result<LocationDataset> ParseSbin(std::string_view content,
+                                  const std::string& name,
+                                  const std::string& source = "sbin");
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_SBIN_H_

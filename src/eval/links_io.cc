@@ -2,22 +2,28 @@
 
 #include <fstream>
 
+#include "common/io.h"
 #include "common/strings.h"
 
 namespace slim {
 
 Status WriteLinksCsv(const std::vector<LinkedEntityPair>& links,
                      const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "entity_a,entity_b,score\n";
+  FileWriter out(path);
+  if (!out.ok()) return Status::IoError("cannot open for write: " + path);
+  out.buf() = "entity_a,entity_b,score\n";
   for (const auto& link : links) {
-    out << link.u << ',' << link.v << ','
-        << StrFormat("%.6f", link.score) << '\n';
+    std::string& buf = out.buf();
+    buf += std::to_string(link.u);
+    buf += ',';
+    buf += std::to_string(link.v);
+    buf += ',';
+    // FormatFixed, not "%.6f": scores must round-trip under any locale.
+    buf += FormatFixed(link.score, 6);
+    buf += '\n';
+    out.FlushIfFull();
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return out.Finish(path);
 }
 
 Result<std::vector<LinkedEntityPair>> ReadLinksCsv(const std::string& path) {
@@ -26,11 +32,19 @@ Result<std::vector<LinkedEntityPair>> ReadLinksCsv(const std::string& path) {
   std::vector<LinkedEntityPair> links;
   std::string line;
   size_t line_no = 0;
+  bool saw_content = false;
   while (std::getline(in, line)) {
     ++line_no;
-    const auto stripped = StripAsciiWhitespace(line);
+    std::string_view sv = line;
+    if (line_no == 1) sv = StripUtf8Bom(sv);
+    const auto stripped = StripAsciiWhitespace(sv);
     if (stripped.empty()) continue;
-    if (line_no == 1 && stripped.rfind("entity_a", 0) == 0) continue;
+    // The header is optional and may follow blank lines / a BOM; it is
+    // only recognised as the first non-blank line.
+    if (!saw_content) {
+      saw_content = true;
+      if (stripped.rfind("entity_a", 0) == 0) continue;
+    }
     const auto fields = SplitString(stripped, ',');
     if (fields.size() != 3) {
       return Status::InvalidArgument(

@@ -26,8 +26,10 @@
 #include "data/checkin_generator.h" // IWYU pragma: export
 #include "data/csv.h"               // IWYU pragma: export
 #include "data/dataset.h"           // IWYU pragma: export
+#include "data/dataset_io.h"        // IWYU pragma: export
 #include "data/record.h"            // IWYU pragma: export
 #include "data/sampler.h"           // IWYU pragma: export
+#include "data/sbin.h"              // IWYU pragma: export
 
 #include "stats/gmm1d.h"      // IWYU pragma: export
 #include "stats/gmm2d.h"      // IWYU pragma: export

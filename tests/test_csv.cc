@@ -1,12 +1,21 @@
 #include "data/csv.h"
 
+#include <clocale>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <thread>
+
+#include <cmath>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
 
 namespace slim {
 namespace {
@@ -118,6 +127,255 @@ TEST_F(CsvTest, WriteToUnwritablePathFails) {
   LocationDataset ds("w");
   ds.Finalize();
   EXPECT_FALSE(WriteCsv(ds, "/nonexistent_dir_xyz/out.csv").ok());
+}
+
+TEST_F(CsvTest, HeaderAfterLeadingBlankLinesIsSkipped) {
+  const std::string path = Path("blank_header.csv");
+  {
+    std::ofstream out(path);
+    out << "\n  \n";
+    out << "entity_id,lat,lng,timestamp\n";
+    out << "1,1.0,1.0,1\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 1u);
+}
+
+TEST_F(CsvTest, Utf8BomBeforeHeaderIsStripped) {
+  const std::string path = Path("bom.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xEF\xBB\xBF" << "entity_id,lat,lng,timestamp\n";
+    out << "7,2.5,-3.5,99\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_records(), 1u);
+  EXPECT_EQ(r->records()[0].entity, 7);
+}
+
+TEST_F(CsvTest, Utf8BomBeforeDataIsStripped) {
+  const std::string path = Path("bom_data.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xEF\xBB\xBF" << "7,2.5,-3.5,99\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 1u);
+}
+
+TEST_F(CsvTest, RejectsLongitudeBeyond180) {
+  // The seed accepted |lng| <= 360 and silently wrapped; 200 must now be
+  // an out-of-range error naming the line.
+  const std::string path = Path("lng200.csv");
+  {
+    std::ofstream out(path);
+    out << "1,10.0,200.0,5\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find(":1:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(CsvTest, RejectsLatitudeBeyond90) {
+  const std::string path = Path("lat91.csv");
+  {
+    std::ofstream out(path);
+    out << "1,91.0,0.0,5\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CsvTest, AcceptsBoundaryCoordinates) {
+  const std::string path = Path("bounds.csv");
+  {
+    std::ofstream out(path);
+    out << "1,90.0,180.0,1\n";
+    out << "2,-90.0,-180.0,2\n";
+  }
+  auto r = ReadCsv(path, "x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 2u);
+  // lng 180 normalizes onto the antimeridian's canonical side.
+  EXPECT_DOUBLE_EQ(r->records()[0].location.lng_deg, -180.0);
+}
+
+TEST_F(CsvTest, RejectsNonFiniteCoordinates) {
+  for (const char* row :
+       {"1,nan,0.0,5\n", "1,0.0,inf,5\n", "1,-inf,0.0,5\n"}) {
+    const std::string path = Path("nonfinite.csv");
+    {
+      std::ofstream out(path);
+      out << row;
+    }
+    auto r = ReadCsv(path, "x");
+    ASSERT_FALSE(r.ok()) << row;
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange) << row;
+    EXPECT_NE(r.status().message().find("non-finite"), std::string::npos)
+        << r.status().message();
+  }
+}
+
+// Writes a dataset of n random records (1e-7-quantized so the CSV form is
+// exact) interleaved with blank lines and stray whitespace.
+std::string WriteMessyCsv(const std::string& path, size_t n) {
+  Rng rng(415);
+  std::ofstream out(path);
+  out << "\n";
+  out << "entity_id,lat,lng,timestamp\n";
+  for (size_t i = 0; i < n; ++i) {
+    const double lat =
+        std::round(rng.NextDouble(-90.0, 90.0) * 1e7) / 1e7;
+    const double lng =
+        std::round(rng.NextDouble(-180.0, 180.0) * 1e7) / 1e7;
+    out << (i % 7 == 0 ? "  " : "") << i % 97 << ','
+        << StrFormat("%.7f", lat) << ',' << StrFormat("%.7f", lng) << ','
+        << 1000 + i << (i % 5 == 0 ? " \n" : "\n");
+    if (i % 13 == 0) out << "\n";
+  }
+  return path;
+}
+
+TEST_F(CsvTest, ParallelParseIsBitIdenticalAtEveryThreadCount) {
+  const std::string path = WriteMessyCsv(Path("parallel.csv"), 3000);
+  CsvReadOptions serial;
+  serial.io_threads = 1;
+  auto reference = ReadCsv(path, "ref", serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->num_records(), 3000u);
+
+  for (const int threads : {2, 8}) {
+    CsvReadOptions opt;
+    opt.io_threads = threads;
+    opt.min_chunk_bytes = 256;  // force many chunks on this small file
+    auto parallel = ReadCsv(path, "par", opt);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->records(), reference->records())
+        << "thread count " << threads;
+  }
+}
+
+TEST_F(CsvTest, ParallelParseReportsEarliestErrorLine) {
+  const std::string path = Path("parallel_err.csv");
+  {
+    std::ofstream out(path);
+    out << "entity_id,lat,lng,timestamp\n";
+    for (int i = 0; i < 200; ++i) {
+      if (i == 60) {
+        out << "oops,not,a,record,at,all\n";  // line 62: wrong field count
+      } else if (i == 150) {
+        out << "1,999.0,0.0,1\n";  // later error must not win
+      } else {
+        out << i << ",1.0,1.0," << i << "\n";
+      }
+    }
+  }
+  CsvReadOptions opt;
+  opt.io_threads = 8;
+  opt.min_chunk_bytes = 64;
+  auto r = ReadCsv(path, "x", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(path + ":62:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(CsvTest, MalformedFieldErrorsKeepPathLineContextInParallelMode) {
+  const std::string path = Path("ctx.csv");
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 100; ++i) out << i << ",1.0,1.0," << i << "\n";
+    out << "101,bogus,1.0,7\n";  // line 101
+  }
+  CsvReadOptions opt;
+  opt.io_threads = 4;
+  opt.min_chunk_bytes = 64;
+  auto r = ReadCsv(path, "x", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(path + ":101:"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("malformed record"), std::string::npos);
+}
+
+TEST_F(CsvTest, ReadsFromNonSeekablePipe) {
+  // Process substitution / FIFO inputs must keep working even though the
+  // chunked reader sizes seekable files up front.
+  const std::string fifo = Path("pipe.csv");
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  std::thread writer([&] {
+    std::ofstream out(fifo);  // blocks until the reader opens
+    out << "entity_id,lat,lng,timestamp\n";
+    out << "1,37.0,-122.0,100\n";
+    out << "2,37.5,-122.5,200\n";
+  });
+  auto r = ReadCsv(fifo, "pipe");
+  writer.join();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 2u);
+}
+
+// Locale regression (the seed's WriteCsv/ReadCsv honored the global C
+// locale, so a comma-decimal locale corrupted output and rejected valid
+// input). The fixed paths use to_chars/from_chars and must round-trip no
+// matter what the process locale is.
+TEST_F(CsvTest, RoundTripSurvivesCommaDecimalLocale) {
+  const char* comma_locales[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                 "fr_FR.UTF-8", "fr_FR.utf8"};
+  const char* active = nullptr;
+  for (const char* name : comma_locales) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      active = name;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this environment";
+  }
+  // Confirm the locale really uses a comma decimal point, then prove the
+  // CSV layer is immune to it.
+  char probe[32];
+  std::snprintf(probe, sizeof(probe), "%.1f", 1.5);
+  const bool comma_locale = std::string(probe) == "1,5";
+
+  LocationDataset ds("locale");
+  ds.Add(1, {37.7749000, -122.4194000}, 1000);
+  ds.Add(2, {-33.8568000, 151.2153000}, 2000);
+  ds.Add(1, {-0.0000001, 0.0000001}, 1500);
+  ds.Finalize();
+  const std::string path = Path("locale.csv");
+  const Status ws = WriteCsv(ds, path);
+  auto loaded = ReadCsv(path, "locale2");
+
+  // Every written line must use '.'-decimals and exactly 3 commas (the
+  // field separators), even under the comma locale.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  size_t data_lines = 0;
+  bool separators_ok = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++data_lines;
+    size_t commas = 0;
+    for (const char c : line) commas += c == ',';
+    separators_ok = separators_ok && commas == 3 &&
+                    line.find('.') != std::string::npos;
+  }
+  std::setlocale(LC_ALL, "C");  // restore before asserting
+
+  ASSERT_TRUE(comma_locale) << "locale " << active
+                            << " does not use comma decimals";
+  ASSERT_TRUE(ws.ok()) << ws.ToString();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(data_lines, 3u);
+  EXPECT_TRUE(separators_ok);
+  EXPECT_EQ(loaded->records(), ds.records());
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+#include "data/dataset_io.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/sbin.h"
+
+namespace slim {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("slim_dsio_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  static LocationDataset SampleDataset() {
+    LocationDataset ds("sample");
+    ds.Add(1, {37.7749000, -122.4194000}, 1000);
+    ds.Add(2, {-33.8568000, 151.2153000}, 2000);
+    ds.Add(1, {37.7750000, -122.4190000}, 1500);
+    ds.Finalize();
+    return ds;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(ParseDatasetFormat, AcceptsKnownNamesRejectsOthers) {
+  EXPECT_EQ(ParseDatasetFormat("auto").value(), DatasetFormat::kAuto);
+  EXPECT_EQ(ParseDatasetFormat("csv").value(), DatasetFormat::kCsv);
+  EXPECT_EQ(ParseDatasetFormat("sbin").value(), DatasetFormat::kSbin);
+  EXPECT_FALSE(ParseDatasetFormat("parquet").ok());
+  EXPECT_FALSE(ParseDatasetFormat("").ok());
+  EXPECT_FALSE(ParseDatasetFormat("CSV").ok());
+}
+
+TEST(DatasetFormatNames, RoundTrip) {
+  EXPECT_STREQ(DatasetFormatName(DatasetFormat::kAuto), "auto");
+  EXPECT_STREQ(DatasetFormatName(DatasetFormat::kCsv), "csv");
+  EXPECT_STREQ(DatasetFormatName(DatasetFormat::kSbin), "sbin");
+}
+
+TEST_F(DatasetIoTest, RawCoordinateValidationContract) {
+  EXPECT_TRUE(RawCoordinateInRange(0.0, 0.0));
+  EXPECT_TRUE(RawCoordinateInRange(90.0, 180.0));
+  EXPECT_TRUE(RawCoordinateInRange(-90.0, -180.0));
+  EXPECT_FALSE(RawCoordinateInRange(90.5, 0.0));
+  EXPECT_FALSE(RawCoordinateInRange(0.0, 180.5));
+  EXPECT_FALSE(RawCoordinateInRange(0.0, 360.0));  // the old lenient bound
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(RawCoordinateInRange(nan, 0.0));
+  EXPECT_FALSE(RawCoordinateInRange(0.0, inf));
+}
+
+TEST_F(DatasetIoTest, SniffDetectsSbinAndCsvRegardlessOfExtension) {
+  const LocationDataset ds = SampleDataset();
+  // Deliberately misleading extensions: content wins.
+  const std::string sbin_as_csv = Path("actually_sbin.csv");
+  const std::string csv_as_bin = Path("actually_csv.bin");
+  ASSERT_TRUE(WriteSbin(ds, sbin_as_csv).ok());
+  ASSERT_TRUE(WriteCsv(ds, csv_as_bin).ok());
+  EXPECT_EQ(SniffDatasetFormat(sbin_as_csv).value(), DatasetFormat::kSbin);
+  EXPECT_EQ(SniffDatasetFormat(csv_as_bin).value(), DatasetFormat::kCsv);
+
+  auto a = ReadDataset(sbin_as_csv, "a");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = ReadDataset(csv_as_bin, "b");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->records(), b->records());
+  EXPECT_EQ(a->records(), ds.records());
+}
+
+TEST_F(DatasetIoTest, ExplicitFormatOverridesSniffing) {
+  const LocationDataset ds = SampleDataset();
+  const std::string csv_path = Path("data.csv");
+  ASSERT_TRUE(WriteCsv(ds, csv_path).ok());
+  DatasetIoOptions opt;
+  opt.format = DatasetFormat::kSbin;
+  auto r = ReadDataset(csv_path, "x", opt);
+  ASSERT_FALSE(r.ok());  // a CSV file is not a valid SBIN file
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(DatasetIoTest, WriteAutoPicksFormatByExtension) {
+  const LocationDataset ds = SampleDataset();
+  const std::string sbin_path = Path("out.sbin");
+  const std::string csv_path = Path("out.csv");
+  ASSERT_TRUE(WriteDataset(ds, sbin_path).ok());
+  ASSERT_TRUE(WriteDataset(ds, csv_path).ok());
+  EXPECT_EQ(SniffDatasetFormat(sbin_path).value(), DatasetFormat::kSbin);
+  EXPECT_EQ(SniffDatasetFormat(csv_path).value(), DatasetFormat::kCsv);
+
+  std::ifstream in(csv_path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "entity_id,lat,lng,timestamp");
+}
+
+TEST_F(DatasetIoTest, WriteExplicitFormatIgnoresExtension) {
+  const LocationDataset ds = SampleDataset();
+  const std::string path = Path("binary.csv");
+  ASSERT_TRUE(WriteDataset(ds, path, DatasetFormat::kSbin).ok());
+  EXPECT_EQ(SniffDatasetFormat(path).value(), DatasetFormat::kSbin);
+}
+
+TEST_F(DatasetIoTest, MissingFileIsIoError) {
+  auto r = ReadDataset(Path("missing.any"), "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DatasetIoTest, AutoDetectionWorksOnANonSeekablePipe) {
+  // The sniff must not consume bytes from the input: auto-detection reads
+  // once and inspects the buffer, so `slim_link --a <(zcat a.csv.gz)`
+  // works with the default --format auto.
+  const std::string fifo = Path("pipe.csv");
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  std::thread writer([&] {
+    std::ofstream out(fifo);  // blocks until the reader opens
+    out << "entity_id,lat,lng,timestamp\n";
+    out << "1,37.0,-122.0,100\n";
+  });
+  auto r = ReadDataset(fifo, "pipe");  // default options: kAuto
+  writer.join();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_records(), 1u);
+  EXPECT_EQ(r->records()[0].entity, 1);
+}
+
+TEST_F(DatasetIoTest, IoThreadsOptionIsHonoredAndDeterministic) {
+  const LocationDataset ds = SampleDataset();
+  const std::string path = Path("threads.csv");
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+  DatasetIoOptions serial;
+  serial.io_threads = 1;
+  DatasetIoOptions parallel;
+  parallel.io_threads = 8;
+  auto a = ReadDataset(path, "a", serial);
+  auto b = ReadDataset(path, "b", parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->records(), b->records());
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,220 @@
+#include "data/sbin.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+
+namespace slim {
+namespace {
+
+class SbinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("slim_sbin_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // A deterministic random dataset exercising negative coordinates, the
+  // poles/antimeridian neighborhood, and negative timestamps.
+  static LocationDataset RandomDataset(uint64_t seed, size_t n,
+                                       bool quantized) {
+    Rng rng(seed);
+    std::vector<Record> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Record r;
+      r.entity = static_cast<EntityId>(rng.NextUint64(n / 4 + 1));
+      r.location.lat_deg = rng.NextDouble(-90.0, 90.0);
+      r.location.lng_deg = rng.NextDouble(-180.0, 180.0);
+      if (quantized) {
+        r.location.lat_deg = std::round(r.location.lat_deg * 1e7) / 1e7;
+        r.location.lng_deg = std::round(r.location.lng_deg * 1e7) / 1e7;
+      }
+      r.timestamp = rng.NextInt64(-1000000, 2000000000);
+      records.push_back(r);
+    }
+    return LocationDataset::FromRecords("rand", std::move(records));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SbinTest, RoundTripEmptyDataset) {
+  LocationDataset ds("empty");
+  ds.Finalize();
+  const std::string path = Path("empty.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  auto loaded = ReadSbin(path, "empty2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), 0u);
+}
+
+TEST_F(SbinTest, RoundTripIsLosslessAtFullDoublePrecision) {
+  // Unlike CSV, SBIN stores the exact bit pattern — no quantization needed.
+  const LocationDataset ds = RandomDataset(7, 500, /*quantized=*/false);
+  const std::string path = Path("full.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  auto loaded = ReadSbin(path, "full2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records(), ds.records());
+}
+
+TEST_F(SbinTest, CsvSbinCrossRoundTripProperty) {
+  // write CSV -> read -> write SBIN -> read must reproduce the CSV-read
+  // dataset exactly; with 1e-7-quantized inputs all four stages agree.
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const LocationDataset ds = RandomDataset(seed, 300, /*quantized=*/true);
+    const std::string csv = Path("cross.csv");
+    const std::string sbin = Path("cross.sbin");
+    ASSERT_TRUE(WriteCsv(ds, csv).ok());
+    auto from_csv = ReadCsv(csv, "c");
+    ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+    EXPECT_EQ(from_csv->records(), ds.records()) << "seed " << seed;
+    ASSERT_TRUE(WriteSbin(*from_csv, sbin).ok());
+    auto from_sbin = ReadSbin(sbin, "s");
+    ASSERT_TRUE(from_sbin.ok()) << from_sbin.status().ToString();
+    EXPECT_EQ(from_sbin->records(), from_csv->records()) << "seed " << seed;
+  }
+}
+
+TEST_F(SbinTest, MissingFileFails) {
+  auto r = ReadSbin(Path("nope.sbin"), "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SbinTest, BadMagicFailsWithPathContext) {
+  const std::string path = Path("junk.sbin");
+  WriteFile(path, std::string("JUNKJUNKJUNKJUNK"));
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(path), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SbinTest, TooShortHeaderFails) {
+  const std::string path = Path("short.sbin");
+  WriteFile(path, std::string("SBIN"));
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("too short"), std::string::npos);
+}
+
+TEST_F(SbinTest, UnsupportedVersionFails) {
+  LocationDataset ds("v");
+  ds.Add(1, {1.0, 2.0}, 3);
+  ds.Finalize();
+  const std::string path = Path("v2.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[4] = 2;  // bump the version field
+  WriteFile(path, bytes);
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version 2"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(SbinTest, TruncatedFileFails) {
+  const LocationDataset ds = RandomDataset(5, 10, true);
+  const std::string path = Path("trunc.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes.resize(bytes.size() - 7);
+  WriteFile(path, bytes);
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("file has"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(SbinTest, TrailingGarbageFails) {
+  const LocationDataset ds = RandomDataset(5, 10, true);
+  const std::string path = Path("trail.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes += "extra";
+  WriteFile(path, bytes);
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(SbinTest, NonFiniteCoordinateFailsWithRecordIndex) {
+  LocationDataset ds("nf");
+  ds.Add(1, {10.0, 20.0}, 1);
+  ds.Add(2, {30.0, 40.0}, 2);
+  ds.Finalize();
+  const std::string path = Path("nan.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  std::string bytes = ReadFile(path);
+  // Overwrite record 1's latitude (offset 16 + 32 + 8) with a NaN pattern.
+  const double nan_value = std::nan("");
+  uint64_t bits;
+  std::memcpy(&bits, &nan_value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    bytes[16 + 32 + 8 + i] = static_cast<char>(bits >> (8 * i));
+  }
+  WriteFile(path, bytes);
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("record 1"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST_F(SbinTest, OutOfRangeCoordinateFails) {
+  LocationDataset ds("oor");
+  ds.Add(1, {10.0, 20.0}, 1);
+  ds.Finalize();
+  const std::string path = Path("oor.sbin");
+  ASSERT_TRUE(WriteSbin(ds, path).ok());
+  std::string bytes = ReadFile(path);
+  const double big = 200.0;  // |lng| > 180
+  uint64_t bits;
+  std::memcpy(&bits, &big, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    bytes[16 + 16 + i] = static_cast<char>(bits >> (8 * i));
+  }
+  WriteFile(path, bytes);
+  auto r = ReadSbin(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST_F(SbinTest, WriteToUnwritablePathFails) {
+  LocationDataset ds("w");
+  ds.Finalize();
+  EXPECT_FALSE(WriteSbin(ds, "/nonexistent_dir_xyz/out.sbin").ok());
+}
+
+}  // namespace
+}  // namespace slim

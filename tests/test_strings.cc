@@ -31,9 +31,17 @@ TEST(StripAsciiWhitespace, StripsBothEnds) {
   EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
 }
 
+TEST(StripUtf8Bom, StripsOnlyALeadingBom) {
+  EXPECT_EQ(StripUtf8Bom("\xEF\xBB\xBFhello"), "hello");
+  EXPECT_EQ(StripUtf8Bom("hello"), "hello");
+  EXPECT_EQ(StripUtf8Bom(""), "");
+  EXPECT_EQ(StripUtf8Bom("\xEF\xBB"), "\xEF\xBB");  // incomplete: kept
+}
+
 TEST(ParseInt64, ParsesValidIntegers) {
   EXPECT_EQ(ParseInt64("42").value(), 42);
   EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("+7").value(), 7);
   EXPECT_EQ(ParseInt64(" 1234 ").value(), 1234);
 }
 
@@ -41,18 +49,49 @@ TEST(ParseInt64, RejectsGarbage) {
   EXPECT_FALSE(ParseInt64("").ok());
   EXPECT_FALSE(ParseInt64("12x").ok());
   EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("+").ok());
+  EXPECT_FALSE(ParseInt64("+-5").ok());
   EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseInt64, OverflowIsOutOfRangeNotInvalid) {
+  auto r = ParseInt64("99999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(ParseDouble, ParsesValidDoubles) {
   EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
   EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("+2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(".5").value(), 0.5);
 }
 
 TEST(ParseDouble, RejectsGarbage) {
   EXPECT_FALSE(ParseDouble("").ok());
   EXPECT_FALSE(ParseDouble("1.2.3").ok());
   EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1,5").ok());  // comma decimals never parse
+}
+
+TEST(ParseDouble, HugeExponentIsOutOfRange) {
+  auto r = ParseDouble("1e999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FormatFixed, MatchesPrintfInTheCLocale) {
+  EXPECT_EQ(FormatFixed(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatFixed(-122.4194, 7), "-122.4194000");
+  EXPECT_EQ(FormatFixed(0.0, 2), "0.00");
+  EXPECT_EQ(FormatFixed(2.5, 0), "2");  // round-half-even, like printf
+}
+
+TEST(FormatFixed, SurvivesHugeMagnitudes) {
+  const std::string s = FormatFixed(1e300, 7);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 301u + 1u + 7u);  // 301 digits, point, 7 decimals
+  EXPECT_DOUBLE_EQ(ParseDouble(s).value(), 1e300);
 }
 
 TEST(StrFormat, FormatsLikePrintf) {

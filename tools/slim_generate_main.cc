@@ -23,6 +23,8 @@ void Usage() {
       "       slim_generate --workload cab|sm --experiment "
       "--out_prefix PFX [options]\n"
       "options:\n"
+      "  --format KIND      output dataset format: auto|csv|sbin\n"
+      "                     (auto picks sbin for *.sbin paths, else csv)\n"
       "  --entities N       entities in the master workload\n"
       "  --days D           collection duration\n"
       "  --seed S           RNG seed (default 42)\n"
@@ -61,6 +63,9 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  auto format = slim::ParseDatasetFormat(flags.GetString("format", "auto"));
+  if (!format.ok()) slim::tools::Flags::Fail(format.status().ToString());
+
   const slim::LocationDataset master = Generate(flags, workload);
   std::fprintf(stderr, "generated %zu entities / %zu records\n",
                master.num_entities(), master.num_records());
@@ -71,7 +76,7 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
-    const slim::Status st = slim::WriteCsv(master, out);
+    const slim::Status st = slim::WriteDataset(master, out, *format);
     if (!st.ok()) slim::tools::Flags::Fail(st.ToString());
     std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
@@ -92,9 +97,15 @@ int main(int argc, char** argv) {
   auto sample = slim::SampleLinkedPair(master, opt);
   if (!sample.ok()) slim::tools::Flags::Fail(sample.status().ToString());
 
-  const slim::Status sa = slim::WriteCsv(sample->a, prefix + "a.csv");
+  // Side files carry the extension of the chosen format; slim_link's
+  // default --format=auto detects either.
+  const char* side_ext =
+      *format == slim::DatasetFormat::kSbin ? ".sbin" : ".csv";
+  const std::string path_a = prefix + "a" + side_ext;
+  const std::string path_b = prefix + "b" + side_ext;
+  const slim::Status sa = slim::WriteDataset(sample->a, path_a, *format);
   if (!sa.ok()) slim::tools::Flags::Fail(sa.ToString());
-  const slim::Status sb = slim::WriteCsv(sample->b, prefix + "b.csv");
+  const slim::Status sb = slim::WriteDataset(sample->b, path_b, *format);
   if (!sb.ok()) slim::tools::Flags::Fail(sb.ToString());
 
   // Ground truth in the links-CSV format (score 1.0).
@@ -106,9 +117,9 @@ int main(int argc, char** argv) {
   if (!st.ok()) slim::tools::Flags::Fail(st.ToString());
 
   std::fprintf(stderr,
-               "wrote %sa.csv (%zu entities), %sb.csv (%zu entities), "
+               "wrote %s (%zu entities), %s (%zu entities), "
                "%struth.csv (%zu pairs)\n",
-               prefix.c_str(), sample->a.num_entities(), prefix.c_str(),
+               path_a.c_str(), sample->a.num_entities(), path_b.c_str(),
                sample->b.num_entities(), prefix.c_str(),
                sample->truth.size());
   return 0;

@@ -1,6 +1,7 @@
 // slim_link: link two mobility CSV datasets from the command line.
 //
-//   slim_link --a service_a.csv --b service_b.csv --out links.csv
+//   slim_link --a service_a.csv --b service_b.sbin --out links.csv
+//             [--format auto|csv|sbin] [--io_threads N]
 //             [--spatial_level N | --auto_tune]
 //             [--window_minutes M] [--b_param X] [--max_speed_kmh S]
 //             [--no_lsh] [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
@@ -8,7 +9,8 @@
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
 //             [--bench_json PATH]
 //
-// Input CSV: entity_id,lat,lng,timestamp (epoch seconds), header optional.
+// Inputs: CSV (entity_id,lat,lng,timestamp epoch seconds, header optional)
+// or SBIN (docs/ARCHITECTURE.md#data); --format=auto sniffs each file.
 // Output CSV: entity_a,entity_b,score.
 #include <cstdio>
 
@@ -40,6 +42,10 @@ void Usage() {
       stderr,
       "usage: slim_link --a A.csv --b B.csv --out links.csv [options]\n"
       "options:\n"
+      "  --format KIND         input dataset format: auto|csv|sbin "
+      "(default auto)\n"
+      "  --io_threads N        worker threads for parallel CSV parsing\n"
+      "                        (default: all; results identical at any N)\n"
       "  --spatial_level N     history leaf cell level (default 12)\n"
       "  --auto_tune           pick the spatial level automatically "
       "(Sec. 3.3)\n"
@@ -76,9 +82,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto a = slim::ReadCsv(path_a, "A");
+  slim::DatasetIoOptions io;
+  auto format = slim::ParseDatasetFormat(flags.GetString("format", "auto"));
+  if (!format.ok()) slim::tools::Flags::Fail(format.status().ToString());
+  io.format = *format;
+  io.io_threads = static_cast<int>(flags.GetInt("io_threads", 0));
+
+  auto a = slim::ReadDataset(path_a, "A", io);
   if (!a.ok()) slim::tools::Flags::Fail(a.status().ToString());
-  auto b = slim::ReadCsv(path_b, "B");
+  auto b = slim::ReadDataset(path_b, "B", io);
   if (!b.ok()) slim::tools::Flags::Fail(b.status().ToString());
 
   const size_t min_records =
