@@ -2,9 +2,10 @@
 //
 // Runs generate -> sample -> link on the SM-style check-in workload at
 // several entity counts and thread counts, prints a per-stage timing table,
-// and writes BENCH_pipeline.json (schema slim-bench-pipeline-v1): wall
-// seconds per stage, speedup vs 1 thread, link counts. Two gates ride
-// along:
+// and writes BENCH_pipeline.json (schema slim-bench-pipeline-v2): wall
+// seconds per stage, peak process RSS at the end of each stage, speedup vs
+// 1 thread, link counts. The v2 reader (bench_util.h) still accepts v1
+// documents, so pre-RSS baselines keep gating. Two gates ride along:
 //
 //   * Determinism: every thread count must produce bit-identical links,
 //     matching, graph, and stats — a mismatch aborts with exit code 1.
@@ -43,6 +44,14 @@ double StageOf(const LinkageResult& r, const std::string& stage) {
   if (stage == "scoring") return r.seconds_scoring;
   if (stage == "matching") return r.seconds_matching;
   return r.seconds_total;
+}
+
+uint64_t RssOf(const LinkageResult& r, const std::string& stage) {
+  if (stage == "histories") return r.rss_peak_histories;
+  if (stage == "lsh") return r.rss_peak_lsh;
+  if (stage == "scoring") return r.rss_peak_scoring;
+  if (stage == "matching") return r.rss_peak_matching;
+  return r.rss_peak_total;
 }
 
 std::vector<size_t> ParseSizeList(const std::string& csv) {
@@ -135,7 +144,7 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"entities", "threads", "histories_s", "lsh_s",
                       "scoring_s", "matching_s", "total_s", "speedup",
-                      "links"});
+                      "peak_rss_mb", "links"});
   std::vector<PipelineRun> runs;
   bool deterministic = true;
 
@@ -202,6 +211,7 @@ int Main(int argc, char** argv) {
                     Fmt(r.seconds_histories, 3), Fmt(r.seconds_lsh, 3),
                     Fmt(r.seconds_scoring, 3), Fmt(r.seconds_matching, 3),
                     Fmt(r.seconds_total, 3), Fmt(speedup, 2),
+                    Fmt(static_cast<double>(r.rss_peak_total) / (1 << 20), 1),
                     std::to_string(r.links.size())});
     }
   }
@@ -210,7 +220,7 @@ int Main(int argc, char** argv) {
   // The machine-readable record.
   bench::JsonWriter json;
   json.BeginObject();
-  json.Key("schema").Value("slim-bench-pipeline-v1");
+  json.Key("schema").Value("slim-bench-pipeline-v2");
   json.Key("workload").Value("checkin");
   json.Key("quick").Value(quick);
   json.Key("hardware_threads")
@@ -245,6 +255,17 @@ int Main(int argc, char** argv) {
       const double ref = base != nullptr ? StageOf(base->result, stage) : cur;
       json.Key(stage).Value(cur > 0.0 ? ref / cur : 1.0);
     }
+    json.EndObject();
+    // v2: peak process RSS at the end of each stage (monotone; the first
+    // stage's value includes generator/sampler memory from the harness).
+    json.Key("peak_rss_bytes").BeginObject();
+    for (const char* stage : kStageNames) {
+      json.Key(stage).Value(RssOf(r, stage));
+    }
+    json.EndObject();
+    json.Key("distance_cache").BeginObject();
+    json.Key("hits").Value(r.stats.cache_hits);
+    json.Key("misses").Value(r.stats.cache_misses);
     json.EndObject();
     json.EndObject();
   }

@@ -54,7 +54,7 @@ inline SlimConfig DefaultSlimConfig() {
   cfg.history.spatial_level = 12;
   cfg.history.window_seconds = 900;
   cfg.similarity.b = 0.5;
-  cfg.use_lsh = false;  // figures enable/parameterise LSH explicitly
+  cfg.candidates = CandidateKind::kBruteForce;  // figures opt into LSH explicitly
   return cfg;
 }
 
@@ -151,6 +151,10 @@ struct PipelineRunRecord {
   // Stage name -> wall seconds ("histories", "lsh", "scoring", "matching",
   // "total").
   std::vector<std::pair<std::string, double>> seconds;
+  // Stage name -> peak process RSS in bytes at the end of that stage.
+  // Empty for schema-v1 documents (pre-RSS); the regression gate only uses
+  // `seconds`, so v1 baselines keep working.
+  std::vector<std::pair<std::string, double>> peak_rss_bytes;
 
   double StageSeconds(const std::string& stage) const {
     for (const auto& [name, secs] : seconds) {
@@ -160,10 +164,11 @@ struct PipelineRunRecord {
   }
 };
 
-/// Extracts the runs of a BENCH_pipeline.json document. Not a general JSON
-/// parser: it scans for the known keys in the order bench_pipeline emits
-/// them ("entities", then "threads", then the "seconds" object), which is
-/// also resilient to hand-edited whitespace. Unknown content is skipped.
+/// Extracts the runs of a BENCH_pipeline.json document (schema v1 or v2).
+/// Not a general JSON parser: it scans for the known keys in the order
+/// bench_pipeline emits them ("entities", then "threads", then the
+/// "seconds" object, then — v2 only — the "peak_rss_bytes" object), which
+/// is also resilient to hand-edited whitespace. Unknown content is skipped.
 inline std::vector<PipelineRunRecord> ParsePipelineRuns(
     const std::string& json) {
   std::vector<PipelineRunRecord> runs;
@@ -174,6 +179,26 @@ inline std::vector<PipelineRunRecord> ParsePipelineRuns(
       ++pos;
     }
     return pos < json.size() ? std::strtod(json.c_str() + pos, nullptr) : -1.0;
+  };
+  // Parses the flat { "name": number, ... } object whose key starts at
+  // `object_key_pos` into `out`; returns the position of its '}'.
+  auto parse_stage_object =
+      [&](size_t object_key_pos,
+          std::vector<std::pair<std::string, double>>* out) -> size_t {
+    const size_t open = json.find('{', object_key_pos);
+    const size_t close = json.find('}', object_key_pos);
+    if (open == std::string::npos || close == std::string::npos) return close;
+    size_t key = open;
+    while ((key = json.find('"', key + 1)) != std::string::npos &&
+           key < close) {
+      const size_t key_end = json.find('"', key + 1);
+      if (key_end == std::string::npos || key_end > close) break;
+      const std::string name = json.substr(key + 1, key_end - key - 1);
+      out->emplace_back(name, number_after(key_end + 1));
+      key = json.find(',', key_end);
+      if (key == std::string::npos || key > close) break;
+    }
+    return close;
   };
   size_t pos = 0;
   while ((pos = json.find("\"entities\"", pos)) != std::string::npos) {
@@ -186,21 +211,18 @@ inline std::vector<PipelineRunRecord> ParsePipelineRuns(
         static_cast<int>(number_after(threads_pos + sizeof("\"threads\"") - 1));
     const size_t seconds_pos = json.find("\"seconds\"", threads_pos);
     if (seconds_pos == std::string::npos) break;
-    const size_t open = json.find('{', seconds_pos);
-    const size_t close = json.find('}', seconds_pos);
-    if (open == std::string::npos || close == std::string::npos) break;
-    size_t key = open;
-    while ((key = json.find('"', key + 1)) != std::string::npos &&
-           key < close) {
-      const size_t key_end = json.find('"', key + 1);
-      if (key_end == std::string::npos || key_end > close) break;
-      const std::string name = json.substr(key + 1, key_end - key - 1);
-      run.seconds.emplace_back(name, number_after(key_end + 1));
-      key = json.find(',', key_end);
-      if (key == std::string::npos || key > close) break;
+    const size_t close = parse_stage_object(seconds_pos, &run.seconds);
+    if (close == std::string::npos) break;
+    // v2: an optional peak_rss_bytes object belonging to this run (it must
+    // appear before the next run's "entities" key to be this run's).
+    const size_t rss_pos = json.find("\"peak_rss_bytes\"", close);
+    const size_t next_run = json.find("\"entities\"", close);
+    if (rss_pos != std::string::npos &&
+        (next_run == std::string::npos || rss_pos < next_run)) {
+      parse_stage_object(rss_pos, &run.peak_rss_bytes);
     }
     runs.push_back(std::move(run));
-    pos = close == std::string::npos ? json.size() : close;
+    pos = close;
   }
   return runs;
 }

@@ -37,7 +37,7 @@ void RunDataset(const char* name, const LocationDataset& master,
     if (sig_level > history_level) continue;
     for (int step : {1, 12, 48, 96, 192}) {
       SlimConfig cfg = bf;
-      cfg.use_lsh = true;
+      cfg.candidates = CandidateKind::kLsh;
       cfg.lsh.signature_spatial_level = sig_level;
       cfg.lsh.temporal_step_windows = step;
       cfg.lsh.similarity_threshold = 0.6;

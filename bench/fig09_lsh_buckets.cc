@@ -31,7 +31,7 @@ void RunDataset(const char* name, const LocationDataset& master,
     for (size_t buckets : {size_t{1} << 8, size_t{1} << 12, size_t{1} << 16,
                            size_t{1} << 20}) {
       SlimConfig cfg = bf;
-      cfg.use_lsh = true;
+      cfg.candidates = CandidateKind::kLsh;
       cfg.lsh.signature_spatial_level = 16;
       cfg.lsh.temporal_step_windows = 48;
       cfg.lsh.similarity_threshold = t;

@@ -46,7 +46,7 @@ void Run() {
 
       {
         SlimConfig cfg = bench::DefaultSlimConfig();
-        cfg.use_lsh = true;  // library-default conservative LSH point
+        cfg.candidates = CandidateKind::kLsh;  // library-default conservative LSH point
         auto r = SlimLinker(cfg).Link(sample->a, sample->b);
         SLIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());
         table.AddRow(

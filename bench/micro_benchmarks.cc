@@ -99,16 +99,15 @@ BENCHMARK(BM_HistoryBuild)->Arg(8)->Arg(32);
 void BM_SimilarityScorePair(benchmark::State& state) {
   const LocationDataset ds = BenchCab(16);
   HistoryConfig hc;
-  const HistorySet set = HistorySet::Build(ds, hc);
-  const SimilarityEngine engine(set, set, SimilarityConfig{});
+  const LinkageContext ctx = LinkageContext::Build(ds, ds, hc);
+  const SimilarityEngine engine(ctx, SimilarityConfig{});
   SimilarityStats stats;
   size_t i = 0;
-  const auto& hs = set.histories();
+  const size_t n = ctx.store_e.size();
   for (auto _ : state) {
-    const auto& hu = hs[i % hs.size()];
-    const auto& hv = hs[(i + 1) % hs.size()];
-    benchmark::DoNotOptimize(
-        engine.ScoreHistories(hu, set, hv, set, &stats));
+    const auto u = static_cast<EntityIdx>(i % n);
+    const auto v = static_cast<EntityIdx>((i + 1) % n);
+    benchmark::DoNotOptimize(engine.ScoreIndexed(u, v, &stats));
     ++i;
   }
 }

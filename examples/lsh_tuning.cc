@@ -65,7 +65,8 @@ int main() {
   for (bool use_lsh : {false, true}) {
     slim::SlimConfig config;
     config.history.spatial_level = *level;
-    config.use_lsh = use_lsh;
+    config.candidates = use_lsh ? slim::CandidateKind::kLsh
+                                : slim::CandidateKind::kBruteForce;
     config.lsh.signature_spatial_level = 10;
     config.lsh.temporal_step_windows = 8;
     config.lsh.similarity_threshold = 0.4;

@@ -1,0 +1,17 @@
+// Process resource introspection for the benchmark instrumentation.
+#ifndef SLIM_COMMON_RESOURCE_H_
+#define SLIM_COMMON_RESOURCE_H_
+
+#include <cstdint>
+
+namespace slim {
+
+/// High-water-mark resident set size of this process, in bytes. Monotone
+/// non-decreasing over the process lifetime (the kernel never lowers the
+/// peak), so per-stage samples bound each stage's footprint from above.
+/// Returns 0 on platforms without getrusage support.
+uint64_t CurrentPeakRssBytes();
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_RESOURCE_H_

@@ -1,0 +1,185 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace slim {
+namespace {
+
+// Flat CSR candidate storage shared by the LSH and grid generators.
+struct CandidateCsr {
+  std::vector<uint64_t> offsets;  // size lefts + 1
+  std::vector<EntityIdx> flat;    // ascending within each left span
+
+  std::span<const EntityIdx> SpanOf(EntityIdx u) const {
+    return {flat.data() + offsets[u], flat.data() + offsets[u + 1]};
+  }
+
+  // Builds the CSR from per-left lists (consumed) in left order.
+  static CandidateCsr FromLists(std::vector<std::vector<EntityIdx>> lists) {
+    CandidateCsr csr;
+    csr.offsets.assign(lists.size() + 1, 0);
+    for (size_t k = 0; k < lists.size(); ++k) {
+      csr.offsets[k + 1] = csr.offsets[k] + lists[k].size();
+    }
+    csr.flat.resize(csr.offsets.back());
+    for (size_t k = 0; k < lists.size(); ++k) {
+      std::copy(lists[k].begin(), lists[k].end(),
+                csr.flat.begin() + static_cast<ptrdiff_t>(csr.offsets[k]));
+    }
+    return csr;
+  }
+};
+
+class BruteForceCandidates final : public CandidateGenerator {
+ public:
+  explicit BruteForceCandidates(const LinkageContext& ctx)
+      : lefts_(ctx.store_e.size()), all_right_(ctx.store_i.size()) {
+    std::iota(all_right_.begin(), all_right_.end(), EntityIdx{0});
+  }
+
+  std::string_view name() const override { return "brute"; }
+  std::span<const EntityIdx> CandidatesFor(EntityIdx) const override {
+    return all_right_;
+  }
+  uint64_t total_candidate_pairs() const override {
+    return static_cast<uint64_t>(lefts_) * all_right_.size();
+  }
+
+ private:
+  size_t lefts_;
+  std::vector<EntityIdx> all_right_;
+};
+
+class LshCandidates final : public CandidateGenerator {
+ public:
+  LshCandidates(const LinkageContext& ctx, const LshConfig& config,
+                int threads) {
+    std::vector<LshIndex::Entry> left, right;
+    left.reserve(ctx.store_e.size());
+    right.reserve(ctx.store_i.size());
+    for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+      left.push_back({ctx.store_e.entity_id(u), &ctx.store_e.tree(u)});
+    }
+    for (EntityIdx v = 0; v < ctx.store_i.size(); ++v) {
+      right.push_back({ctx.store_i.entity_id(v), &ctx.store_i.tree(v)});
+    }
+    index_ = LshIndex::Build(left, right, config, threads);
+  }
+
+  std::string_view name() const override { return "lsh"; }
+  std::span<const EntityIdx> CandidatesFor(EntityIdx u) const override {
+    // The index was built in store order, so its right-side positions ARE
+    // the dense EntityIdx values — no re-keying.
+    static_assert(std::is_same_v<EntityIdx, uint32_t>);
+    return index_.CandidatePositionsAt(u);
+  }
+  uint64_t total_candidate_pairs() const override {
+    return index_.total_candidate_pairs();
+  }
+  /// The underlying index (signature diagnostics, tests).
+  const LshIndex& index() const { return index_; }
+
+ private:
+  LshIndex index_;
+};
+
+class GridBlockingCandidates final : public CandidateGenerator {
+ public:
+  GridBlockingCandidates(const LinkageContext& ctx,
+                         const GridBlockingConfig& config, int threads) {
+    const HistoryStore& se = ctx.store_e;
+    const HistoryStore& si = ctx.store_i;
+
+    // Inverted index bin -> right entities, CSR over the shared
+    // vocabulary. Right entities are visited in index order, so every
+    // posting list is ascending.
+    std::vector<uint64_t> bin_offsets(ctx.vocab.size() + 1, 0);
+    for (const BinId b : si.bin_ids()) ++bin_offsets[b + 1];
+    for (size_t b = 1; b < bin_offsets.size(); ++b) {
+      bin_offsets[b] += bin_offsets[b - 1];
+    }
+    std::vector<EntityIdx> postings(si.bin_ids().size());
+    {
+      std::vector<uint64_t> cursor = bin_offsets;
+      for (EntityIdx v = 0; v < si.size(); ++v) {
+        for (const BinId b : si.bins(v)) postings[cursor[b]++] = v;
+      }
+    }
+
+    const uint32_t cap = config.max_bin_entities;
+    std::vector<std::vector<EntityIdx>> lists(se.size());
+    ParallelFor(
+        se.size(),
+        [&](size_t begin, size_t end, int) {
+          for (size_t k = begin; k < end; ++k) {
+            auto& list = lists[k];
+            for (const BinId b : se.bins(static_cast<EntityIdx>(k))) {
+              const uint64_t lo = bin_offsets[b], hi = bin_offsets[b + 1];
+              if (cap > 0 && hi - lo > cap) continue;  // hotspot stop-word
+              list.insert(list.end(), postings.begin() + lo,
+                          postings.begin() + hi);
+            }
+            std::sort(list.begin(), list.end());
+            list.erase(std::unique(list.begin(), list.end()), list.end());
+          }
+        },
+        threads);
+    csr_ = CandidateCsr::FromLists(std::move(lists));
+  }
+
+  std::string_view name() const override { return "grid"; }
+  std::span<const EntityIdx> CandidatesFor(EntityIdx u) const override {
+    return csr_.SpanOf(u);
+  }
+  uint64_t total_candidate_pairs() const override { return csr_.flat.size(); }
+
+ private:
+  CandidateCsr csr_;
+};
+
+}  // namespace
+
+std::string_view CandidateKindName(CandidateKind kind) {
+  switch (kind) {
+    case CandidateKind::kLsh:
+      return "lsh";
+    case CandidateKind::kBruteForce:
+      return "brute";
+    case CandidateKind::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+Result<CandidateKind> ParseCandidateKind(std::string_view name) {
+  if (name == "lsh") return CandidateKind::kLsh;
+  if (name == "brute") return CandidateKind::kBruteForce;
+  if (name == "grid") return CandidateKind::kGrid;
+  return Status::InvalidArgument("unknown candidate generator: " +
+                                 std::string(name));
+}
+
+std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
+    CandidateKind kind, const LinkageContext& context,
+    const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
+    int threads) {
+  switch (kind) {
+    case CandidateKind::kLsh:
+      return std::make_unique<LshCandidates>(context, lsh_config, threads);
+    case CandidateKind::kBruteForce:
+      return std::make_unique<BruteForceCandidates>(context);
+    case CandidateKind::kGrid:
+      return std::make_unique<GridBlockingCandidates>(context, grid_config,
+                                                      threads);
+  }
+  SLIM_CHECK_MSG(false, "unreachable candidate kind");
+  return nullptr;
+}
+
+}  // namespace slim

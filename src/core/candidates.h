@@ -1,0 +1,83 @@
+// Pluggable candidate generation — the blocking stage of the pipeline.
+//
+// Alg. 1 scores only the pairs a filtering stage proposes. Following the
+// companion ST-Link work, which frames filtering as a replaceable blocking
+// component, candidate generation is a first-class interface with three
+// implementations:
+//
+//   BruteForceCandidates — every cross-dataset pair (the "no-LSH SLIM"
+//                          reference; exact, quadratic).
+//   LshCandidates        — banded LSH over history signatures (paper
+//                          Sec. 4; the production default).
+//   GridBlockingCandidates — ST-Link-style co-visit blocking: a pair is a
+//                          candidate iff the two entities share at least
+//                          one (window, leaf cell) time-location bin.
+//                          Exact on pairs with any exact co-visit; prunes
+//                          everything else.
+//
+// All generators speak dense EntityIdx (core/linkage_context.h) and return
+// ascending, de-duplicated right-side index spans, so the scoring loop is
+// generator-agnostic and its output order (and therefore the linkage
+// result) never depends on which generator produced the candidates.
+#ifndef SLIM_CORE_CANDIDATES_H_
+#define SLIM_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/linkage_context.h"
+#include "lsh/lsh_index.h"
+
+namespace slim {
+
+/// Which candidate generator the pipeline runs.
+enum class CandidateKind {
+  kLsh,         // banded LSH over signatures (default)
+  kBruteForce,  // full cross product
+  kGrid,        // co-visited leaf-cell blocking
+};
+
+/// "lsh" / "brute" / "grid" (the --candidates flag vocabulary).
+std::string_view CandidateKindName(CandidateKind kind);
+
+/// Parses the --candidates flag vocabulary; InvalidArgument on garbage.
+Result<CandidateKind> ParseCandidateKind(std::string_view name);
+
+/// Configuration of GridBlockingCandidates.
+struct GridBlockingConfig {
+  /// Bins held by more than this many right-side entities are skipped as
+  /// blocking keys (the classic stop-word guard against hotspot cells
+  /// degenerating to the cross product). 0 disables the cap.
+  uint32_t max_bin_entities = 0;
+};
+
+/// A built candidate index: ascending right-side EntityIdx spans per left
+/// entity. Implementations are immutable after construction and safe to
+/// probe from any thread.
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+
+  /// Generator name for logs / bench records ("lsh", "brute", "grid").
+  virtual std::string_view name() const = 0;
+  /// Sorted, de-duplicated right-side indices for left entity `u`.
+  virtual std::span<const EntityIdx> CandidatesFor(EntityIdx u) const = 0;
+  /// Sum over left entities of their candidate count.
+  virtual uint64_t total_candidate_pairs() const = 0;
+};
+
+/// Builds the candidate index of `kind` over the context. `lsh_config` is
+/// consulted only by kLsh, `grid_config` only by kGrid. Construction is
+/// data-parallel over `threads` workers and identical at every thread
+/// count.
+std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
+    CandidateKind kind, const LinkageContext& context,
+    const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
+    int threads = 0);
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_CANDIDATES_H_

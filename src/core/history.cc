@@ -1,6 +1,5 @@
 #include "core/history.h"
 
-#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -11,16 +10,12 @@
 
 namespace slim {
 
-MobilityHistory MobilityHistory::FromRecords(EntityId entity,
-                                             std::span<const Record> records,
-                                             const HistoryConfig& config) {
+std::vector<TimeLocationBin> GroupRecordsIntoBins(
+    std::span<const Record> records, const HistoryConfig& config) {
   SLIM_CHECK_MSG(config.spatial_level >= 0 &&
                      config.spatial_level <= CellId::kMaxLevel,
                  "invalid spatial level");
   SLIM_CHECK_MSG(config.window_seconds > 0, "invalid window width");
-
-  MobilityHistory h;
-  h.entity_ = entity;
 
   std::map<std::pair<int64_t, CellId>, uint32_t> grouped;
   for (const Record& r : records) {
@@ -36,15 +31,28 @@ MobilityHistory MobilityHistory::FromRecords(EntityId entity,
       const CellId c = CellId::FromLatLng(r.location, config.spatial_level);
       ++grouped[{w, c}];
     }
-    ++h.total_records_;
   }
 
-  h.bins_.reserve(grouped.size());
-  std::vector<WindowedCellCount> tree_entries;
-  tree_entries.reserve(grouped.size());
+  std::vector<TimeLocationBin> bins;
+  bins.reserve(grouped.size());
   for (const auto& [key, count] : grouped) {
-    h.bins_.push_back({key.first, key.second, count});
-    tree_entries.push_back({key.first, key.second, count});
+    bins.push_back({key.first, key.second, count});
+  }
+  return bins;
+}
+
+MobilityHistory MobilityHistory::FromRecords(EntityId entity,
+                                             std::span<const Record> records,
+                                             const HistoryConfig& config) {
+  MobilityHistory h;
+  h.entity_ = entity;
+  h.bins_ = GroupRecordsIntoBins(records, config);
+  h.total_records_ = records.size();
+
+  std::vector<WindowedCellCount> tree_entries;
+  tree_entries.reserve(h.bins_.size());
+  for (const TimeLocationBin& bin : h.bins_) {
+    tree_entries.push_back({bin.window, bin.cell, bin.record_count});
   }
 
   // Window index over the (already (window, cell)-sorted) bins.

@@ -45,6 +45,13 @@ struct HistoryConfig {
   double region_radius_meters = 0.0;
 };
 
+/// Groups one entity's records into time-location bins, sorted by
+/// (window, cell) with per-bin record counts. This is the shared binning
+/// kernel behind both the sparse MobilityHistory and the dense HistoryStore
+/// (core/linkage_context.h).
+std::vector<TimeLocationBin> GroupRecordsIntoBins(
+    std::span<const Record> records, const HistoryConfig& config);
+
 /// The mobility history of a single entity.
 class MobilityHistory {
  public:

@@ -1,0 +1,234 @@
+#include "core/linkage_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace slim {
+namespace {
+
+// One side's per-entity binning product, before interning.
+struct SideBins {
+  std::vector<std::vector<TimeLocationBin>> bins;  // per entity, sorted
+  std::vector<WindowSegmentTree> trees;
+  std::vector<uint64_t> total_records;
+};
+
+}  // namespace
+
+// Fills HistoryStore's private CSR arrays; the only construction path.
+class HistoryStoreBuilder {
+ public:
+  static void Fill(const LocationDataset& dataset, const BinVocabulary& vocab,
+                   SideBins&& side, int threads, HistoryStore* store);
+};
+
+namespace {
+
+SideBins BinSide(const LocationDataset& dataset, const HistoryConfig& config,
+                 int threads) {
+  const std::vector<EntityId>& ids = dataset.entity_ids();
+  SideBins side;
+  side.bins.resize(ids.size());
+  side.trees.resize(ids.size());
+  side.total_records.resize(ids.size());
+  ParallelFor(
+      ids.size(),
+      [&](size_t begin, size_t end, int) {
+        for (size_t k = begin; k < end; ++k) {
+          const auto records = dataset.RecordsOf(ids[k]);
+          side.bins[k] = GroupRecordsIntoBins(records, config);
+          side.total_records[k] = records.size();
+          std::vector<WindowedCellCount> entries;
+          entries.reserve(side.bins[k].size());
+          for (const TimeLocationBin& bin : side.bins[k]) {
+            entries.push_back({bin.window, bin.cell, bin.record_count});
+          }
+          side.trees[k] = WindowSegmentTree::Build(std::move(entries));
+        }
+      },
+      threads);
+  return side;
+}
+
+}  // namespace
+
+// Fills one store from its side's binning product. The vocabulary must
+// already cover every bin of the side.
+void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
+                               const BinVocabulary& vocab, SideBins&& side,
+                               int threads, HistoryStore* store) {
+  const size_t n = dataset.entity_ids().size();
+  store->entity_ids_ = dataset.entity_ids();
+  store->trees_ = std::move(side.trees);
+  store->total_records_ = std::move(side.total_records);
+
+  // CSR offsets from per-entity bin counts (exclusive prefix sums), then a
+  // parallel interning fill into the pre-sized flat arrays. Offsets are
+  // 32-bit; guard the total before summing into them (the vocabulary has
+  // the matching guard on distinct bins).
+  uint64_t total_bins64 = 0;
+  for (const auto& bins : side.bins) total_bins64 += bins.size();
+  SLIM_CHECK_MSG(total_bins64 <= UINT32_MAX,
+                 "history store exceeds 2^32 bin occurrences");
+  store->bin_offsets_.assign(n + 1, 0);
+  store->window_offsets_.assign(n + 1, 0);
+  for (size_t k = 0; k < n; ++k) {
+    const auto& bins = side.bins[k];
+    store->bin_offsets_[k + 1] =
+        store->bin_offsets_[k] + static_cast<uint32_t>(bins.size());
+    uint32_t windows = 0;
+    for (size_t i = 0; i < bins.size(); ++i) {
+      if (i == 0 || bins[i].window != bins[i - 1].window) ++windows;
+    }
+    store->window_offsets_[k + 1] = store->window_offsets_[k] + windows;
+  }
+  const size_t total_bins = store->bin_offsets_[n];
+  const size_t total_windows = store->window_offsets_[n];
+  store->bin_ids_.resize(total_bins);
+  store->bin_counts_.resize(total_bins);
+  store->windows_.resize(total_windows);
+  store->window_bin_begin_.resize(total_windows + 1);
+  store->window_bin_begin_[total_windows] = static_cast<uint32_t>(total_bins);
+
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end, int) {
+        for (size_t k = begin; k < end; ++k) {
+          const auto& bins = side.bins[k];
+          uint32_t bin_pos = store->bin_offsets_[k];
+          uint32_t win_pos = store->window_offsets_[k];
+          for (size_t i = 0; i < bins.size(); ++i) {
+            const auto id = vocab.Find(bins[i].window, bins[i].cell);
+            SLIM_CHECK_MSG(id.has_value(), "bin missing from vocabulary");
+            store->bin_ids_[bin_pos] = *id;
+            store->bin_counts_[bin_pos] = bins[i].record_count;
+            if (i == 0 || bins[i].window != bins[i - 1].window) {
+              store->windows_[win_pos] = bins[i].window;
+              store->window_bin_begin_[win_pos] = bin_pos;
+              ++win_pos;
+            }
+            ++bin_pos;
+          }
+        }
+      },
+      threads);
+
+  // Dataset-level statistics: per-bin holder counts (each entity's bins are
+  // distinct, so every occurrence is one holder) and the IDF array.
+  store->bin_entity_counts_.assign(vocab.size(), 0);
+  for (const BinId b : store->bin_ids_) ++store->bin_entity_counts_[b];
+  store->idf_.resize(vocab.size());
+  if (n > 0) {
+    const double dn = static_cast<double>(n);
+    const double max_idf = std::log(dn);
+    for (size_t b = 0; b < vocab.size(); ++b) {
+      const uint32_t holders = store->bin_entity_counts_[b];
+      store->idf_[b] =
+          holders == 0 ? max_idf : std::log(dn / static_cast<double>(holders));
+    }
+  }
+  store->avg_bins_ =
+      n == 0 ? 0.0
+             : static_cast<double>(total_bins) / static_cast<double>(n);
+}
+
+
+std::optional<BinId> BinVocabulary::Find(int64_t window, CellId cell) const {
+  // Lower bound over the (window, cell-raw)-sorted parallel arrays.
+  size_t lo = 0, hi = windows_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (windows_[mid] < window ||
+        (windows_[mid] == window && cells_[mid] < cell)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < windows_.size() && windows_[lo] == window && cells_[lo] == cell) {
+    return static_cast<BinId>(lo);
+  }
+  return std::nullopt;
+}
+
+BinVocabulary BinVocabulary::Build(
+    const std::vector<std::vector<TimeLocationBin>>& side_e,
+    const std::vector<std::vector<TimeLocationBin>>& side_i) {
+  std::vector<std::pair<int64_t, CellId>> keys;
+  size_t total = 0;
+  for (const auto& bins : side_e) total += bins.size();
+  for (const auto& bins : side_i) total += bins.size();
+  keys.reserve(total);
+  for (const auto* side : {&side_e, &side_i}) {
+    for (const auto& bins : *side) {
+      for (const TimeLocationBin& bin : bins) {
+        keys.emplace_back(bin.window, bin.cell);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  SLIM_CHECK_MSG(keys.size() <= static_cast<size_t>(UINT32_MAX),
+                 "bin vocabulary exceeds 2^32 entries");
+
+  BinVocabulary vocab;
+  vocab.windows_.reserve(keys.size());
+  vocab.cells_.reserve(keys.size());
+  for (const auto& [window, cell] : keys) {
+    vocab.windows_.push_back(window);
+    vocab.cells_.push_back(cell);
+  }
+  return vocab;
+}
+
+std::optional<EntityIdx> HistoryStore::IndexOf(EntityId entity) const {
+  const auto it =
+      std::lower_bound(entity_ids_.begin(), entity_ids_.end(), entity);
+  if (it == entity_ids_.end() || *it != entity) return std::nullopt;
+  return static_cast<EntityIdx>(it - entity_ids_.begin());
+}
+
+double HistoryStore::LengthNorm(EntityIdx u, double b) const {
+  SLIM_CHECK_MSG(b >= 0.0 && b <= 1.0, "length-norm b must be in [0,1]");
+  SLIM_CHECK_MSG(avg_bins_ > 0.0, "LengthNorm on an empty HistoryStore");
+  const double rel = static_cast<double>(num_bins(u)) / avg_bins_;
+  return (1.0 - b) + b * rel;
+}
+
+LinkageContext LinkageContext::Build(const LocationDataset& dataset_e,
+                                     const LocationDataset& dataset_i,
+                                     const HistoryConfig& config,
+                                     int threads) {
+  SLIM_CHECK_MSG(dataset_e.finalized() && dataset_i.finalized(),
+                 "datasets must be finalized");
+  LinkageContext ctx;
+  ctx.config = config;
+  if (&dataset_e == &dataset_i) {
+    // Symmetric context (the auto-tuner's case): bin and intern once, copy
+    // the finished store instead of rebuilding it.
+    SideBins bins = BinSide(dataset_e, config, threads);
+    ctx.vocab = BinVocabulary::Build(bins.bins, {});
+    HistoryStoreBuilder::Fill(dataset_e, ctx.vocab, std::move(bins), threads,
+                              &ctx.store_e);
+    ctx.store_i = ctx.store_e;
+    return ctx;
+  }
+  SideBins bins_e = BinSide(dataset_e, config, threads);
+  SideBins bins_i = BinSide(dataset_i, config, threads);
+  ctx.vocab = BinVocabulary::Build(bins_e.bins, bins_i.bins);
+  HistoryStoreBuilder::Fill(dataset_e, ctx.vocab, std::move(bins_e), threads,
+                            &ctx.store_e);
+  HistoryStoreBuilder::Fill(dataset_i, ctx.vocab, std::move(bins_i), threads,
+                            &ctx.store_i);
+  return ctx;
+}
+
+}  // namespace slim

@@ -1,0 +1,176 @@
+// Dense interned representation of a linkage problem.
+//
+// The sparse per-entity structures (core/history.h) are convenient for
+// construction and diagnostics, but the scoring and candidate-filtering hot
+// paths should never pay hash-map costs per lookup. This header provides
+// the dense core the pipeline runs on:
+//
+//   BinVocabulary  — interns every (window, cell) time-location bin that
+//                    occurs in EITHER dataset into a contiguous BinId, so
+//                    bin-level statistics become flat-array lookups shared
+//                    across both sides.
+//   HistoryStore   — one dataset's histories in a CSR-style flat layout:
+//                    per-entity offset spans over BinId/count arrays, a
+//                    parallel window index, IDF as a flat array indexed by
+//                    BinId, and the per-entity window segment trees the LSH
+//                    layer queries. Entities are addressed by dense
+//                    EntityIdx (their rank in the sorted entity-id list).
+//   LinkageContext — the vocabulary plus the two stores; the input to the
+//                    similarity engine and every CandidateGenerator.
+//
+// Construction is data-parallel over entities and deterministic: BinIds
+// are assigned in (window, cell) order, so a history's bin span is sorted
+// by BinId exactly as the sparse MobilityHistory sorts its bins.
+#ifndef SLIM_CORE_LINKAGE_CONTEXT_H_
+#define SLIM_CORE_LINKAGE_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/history.h"
+#include "data/dataset.h"
+#include "geo/cell_id.h"
+#include "temporal/window_tree.h"
+
+namespace slim {
+
+/// Contiguous id of an interned (window, cell) bin. Ids are dense in
+/// [0, BinVocabulary::size()) and ordered by (window, cell).
+using BinId = uint32_t;
+
+/// Dense index of an entity inside one HistoryStore: its rank in the
+/// store's sorted entity-id list.
+using EntityIdx = uint32_t;
+
+class HistoryStoreBuilder;
+
+/// The shared (window, cell) -> BinId interning over both datasets.
+class BinVocabulary {
+ public:
+  size_t size() const { return windows_.size(); }
+  int64_t window(BinId b) const { return windows_[b]; }
+  CellId cell(BinId b) const { return cells_[b]; }
+
+  /// BinId of (window, cell); nullopt when the bin occurs in neither
+  /// dataset. O(log size) binary search.
+  std::optional<BinId> Find(int64_t window, CellId cell) const;
+
+  /// Builds the vocabulary from per-side bin lists (each inner vector is
+  /// one entity's (window, cell)-sorted bins). Exposed for tests; the
+  /// pipeline uses LinkageContext::Build.
+  static BinVocabulary Build(
+      const std::vector<std::vector<TimeLocationBin>>& side_e,
+      const std::vector<std::vector<TimeLocationBin>>& side_i);
+
+ private:
+  // Parallel arrays indexed by BinId, sorted by (window, cell raw).
+  std::vector<int64_t> windows_;
+  std::vector<CellId> cells_;
+};
+
+/// One dataset's histories in a flat CSR layout plus the dataset-level
+/// statistics the similarity score needs, all addressable without hashing.
+class HistoryStore {
+ public:
+  /// Number of entities.
+  size_t size() const { return entity_ids_.size(); }
+  /// Sorted entity ids; EntityIdx is a position in this vector.
+  const std::vector<EntityId>& entity_ids() const { return entity_ids_; }
+  EntityId entity_id(EntityIdx u) const { return entity_ids_[u]; }
+  /// Dense index of `entity`; nullopt when absent. O(log size).
+  std::optional<EntityIdx> IndexOf(EntityId entity) const;
+
+  /// |H_u|: number of bins of entity u.
+  size_t num_bins(EntityIdx u) const {
+    return bin_offsets_[u + 1] - bin_offsets_[u];
+  }
+  /// Entity u's bins as ascending BinIds ((window, cell)-sorted).
+  std::span<const BinId> bins(EntityIdx u) const {
+    return {bin_ids_.data() + bin_offsets_[u],
+            bin_ids_.data() + bin_offsets_[u + 1]};
+  }
+  /// Record counts parallel to bins(u).
+  std::span<const uint32_t> counts(EntityIdx u) const {
+    return {bin_counts_.data() + bin_offsets_[u],
+            bin_counts_.data() + bin_offsets_[u + 1]};
+  }
+
+  /// Sorted distinct occupied windows of entity u.
+  std::span<const int64_t> windows(EntityIdx u) const {
+    return {windows_.data() + window_offsets_[u],
+            windows_.data() + window_offsets_[u + 1]};
+  }
+  /// The bins of entity u's k-th occupied window (k is a position in
+  /// windows(u)), as a [begin, end) span of positions into bin_ids().
+  std::pair<uint32_t, uint32_t> WindowBinRange(EntityIdx u, size_t k) const {
+    const uint32_t w = window_offsets_[u] + static_cast<uint32_t>(k);
+    return {window_bin_begin_[w], window_bin_begin_[w + 1]};
+  }
+  /// Flat bin-id / count arrays (for WindowBinRange-based iteration).
+  const std::vector<BinId>& bin_ids() const { return bin_ids_; }
+  const std::vector<uint32_t>& bin_counts() const { return bin_counts_; }
+
+  /// Mean |H_u| over the store (0 when empty).
+  double avg_bins() const { return avg_bins_; }
+  /// Number of this store's histories containing bin b.
+  uint32_t bin_entity_count(BinId b) const { return bin_entity_counts_[b]; }
+  /// idf(b) = log(|U| / holders) with log(|U|) for absent bins (Eq. 3),
+  /// as a flat lookup. Requires a non-empty store.
+  double idf(BinId b) const { return idf_[b]; }
+  /// The full IDF array (size = vocabulary size) for flat-pointer access on
+  /// the scoring hot path.
+  const std::vector<double>& idf_values() const { return idf_; }
+  /// The normalisation L(u) = (1 - b) + b * |H_u| / avg|H| of Eq. 2.
+  double LengthNorm(EntityIdx u, double b) const;
+
+  /// Entity u's hierarchical window aggregation (LSH dominating-cell
+  /// queries).
+  const WindowSegmentTree& tree(EntityIdx u) const { return trees_[u]; }
+  /// Total records of entity u.
+  uint64_t total_records(EntityIdx u) const { return total_records_[u]; }
+
+ private:
+  friend class HistoryStoreBuilder;  // construction (linkage_context.cc)
+
+  std::vector<EntityId> entity_ids_;
+  // CSR over bins: entity u owns bin_ids_/bin_counts_ positions
+  // [bin_offsets_[u], bin_offsets_[u+1]).
+  std::vector<uint32_t> bin_offsets_;
+  std::vector<BinId> bin_ids_;
+  std::vector<uint32_t> bin_counts_;
+  // CSR over occupied windows: entity u owns windows_ positions
+  // [window_offsets_[u], window_offsets_[u+1]); window_bin_begin_ maps each
+  // window (plus one global sentinel) to where its bins start in bin_ids_.
+  std::vector<uint32_t> window_offsets_;
+  std::vector<int64_t> windows_;
+  std::vector<uint32_t> window_bin_begin_;
+  // Flat per-BinId statistics (size = vocabulary size).
+  std::vector<uint32_t> bin_entity_counts_;
+  std::vector<double> idf_;
+  std::vector<WindowSegmentTree> trees_;
+  std::vector<uint64_t> total_records_;
+  double avg_bins_ = 0.0;
+};
+
+/// The dense linkage problem: one shared vocabulary, two history stores.
+struct LinkageContext {
+  HistoryConfig config;
+  BinVocabulary vocab;
+  HistoryStore store_e;  // left dataset ("E")
+  HistoryStore store_i;  // right dataset ("I")
+
+  /// Builds the context from two finalized datasets. Per-entity binning and
+  /// tree construction are data-parallel over `threads` workers (<= 0 means
+  /// the library default); vocabulary assignment and the dataset statistics
+  /// are order-fixed merges, so the context is identical at every thread
+  /// count.
+  static LinkageContext Build(const LocationDataset& dataset_e,
+                              const LocationDataset& dataset_i,
+                              const HistoryConfig& config, int threads = 0);
+};
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_LINKAGE_CONTEXT_H_

@@ -1,54 +1,59 @@
 #include "core/similarity.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_set>
 
 #include "common/check.h"
 #include "core/pairing.h"
 
 namespace slim {
 
-SimilarityEngine::SimilarityEngine(const HistorySet& set_e,
-                                   const HistorySet& set_i,
+SimilarityEngine::SimilarityEngine(const LinkageContext& context,
                                    const SimilarityConfig& config)
-    : set_e_(set_e), set_i_(set_i), config_(config) {
-  SLIM_CHECK_MSG(set_e.config().spatial_level == set_i.config().spatial_level &&
-                     set_e.config().window_seconds ==
-                         set_i.config().window_seconds,
-                 "HistorySets must share one HistoryConfig");
+    : ctx_(context), config_(config) {
   SLIM_CHECK_MSG(config_.b >= 0.0 && config_.b <= 1.0, "b must be in [0,1]");
-  runaway_m_ =
-      RunawayMeters(config_.proximity, set_e.config().window_seconds);
+  runaway_m_ = RunawayMeters(config_.proximity, ctx_.config.window_seconds);
+  if (config_.use_normalization) {
+    norm_e_.resize(ctx_.store_e.size());
+    for (EntityIdx u = 0; u < norm_e_.size(); ++u) {
+      norm_e_[u] = ctx_.store_e.LengthNorm(u, config_.b);
+    }
+    norm_i_.resize(ctx_.store_i.size());
+    for (EntityIdx v = 0; v < norm_i_.size(); ++v) {
+      norm_i_[v] = ctx_.store_i.LengthNorm(v, config_.b);
+    }
+  }
 }
 
 double SimilarityEngine::Score(EntityId u, EntityId v, SimilarityStats* stats,
                                CellDistanceCache* cache) const {
-  const MobilityHistory* hu = set_e_.Find(u);
-  const MobilityHistory* hv = set_i_.Find(v);
-  if (hu == nullptr || hv == nullptr) return 0.0;
-  return ScoreHistories(*hu, set_e_, *hv, set_i_, stats, cache);
+  const auto iu = ctx_.store_e.IndexOf(u);
+  const auto iv = ctx_.store_i.IndexOf(v);
+  if (!iu.has_value() || !iv.has_value()) return 0.0;
+  return ScoreIndexed(*iu, *iv, stats, cache);
 }
 
-double SimilarityEngine::ScoreHistories(const MobilityHistory& hu,
-                                        const HistorySet& set_u,
-                                        const MobilityHistory& hv,
-                                        const HistorySet& set_v,
-                                        SimilarityStats* stats,
-                                        CellDistanceCache* cache) const {
+double SimilarityEngine::ScoreIndexed(EntityIdx u, EntityIdx v,
+                                      SimilarityStats* stats,
+                                      CellDistanceCache* cache) const {
   SLIM_CHECK(stats != nullptr);
   ++stats->entity_pairs;
-  if (hu.num_bins() == 0 || hv.num_bins() == 0) return 0.0;
+  const HistoryStore& se = ctx_.store_e;
+  const HistoryStore& si = ctx_.store_i;
+  if (se.num_bins(u) == 0 || si.num_bins(v) == 0) return 0.0;
 
   // Normalisation divisor (Eq. 2); 1 when disabled.
-  double norm = 1.0;
-  if (config_.use_normalization) {
-    norm = set_u.LengthNorm(hu, config_.b) * set_v.LengthNorm(hv, config_.b);
-  }
+  const double norm =
+      config_.use_normalization ? norm_e_[u] * norm_i_[v] : 1.0;
+
+  const BinVocabulary& vocab = ctx_.vocab;
+  const BinId* bins_e = se.bin_ids().data();
+  const BinId* bins_i = si.bin_ids().data();
+  const double* idf_e = config_.use_idf ? se.idf_values().data() : nullptr;
+  const double* idf_i = config_.use_idf ? si.idf_values().data() : nullptr;
 
   // Intersect the two sorted window lists.
-  const auto& wu = hu.windows();
-  const auto& wv = hv.windows();
+  const auto wu = se.windows(u);
+  const auto wv = si.windows(v);
   double score = 0.0;
   size_t iu = 0, iv = 0;
   std::vector<double> dist;   // reused per-window distance matrix
@@ -63,23 +68,21 @@ double SimilarityEngine::ScoreHistories(const MobilityHistory& hu,
       ++iv;
       continue;
     }
-    const int64_t w = wu[iu];
+    const auto [ub, ue] = se.WindowBinRange(u, iu);
+    const auto [vb, ve] = si.WindowBinRange(v, iv);
     ++iu;
     ++iv;
-
-    const auto bins_u = hu.BinsInWindow(w);
-    const auto bins_v = hv.BinsInWindow(w);
-    const size_t m = bins_u.size();
-    const size_t n = bins_v.size();
+    const size_t m = ue - ub;
+    const size_t n = ve - vb;
 
     // Distance matrix, computed once and shared by the N and N' passes.
     dist.resize(m * n);
     for (size_t r = 0; r < m; ++r) {
+      const CellId cell_u = vocab.cell(bins_e[ub + r]);
       for (size_t c = 0; c < n; ++c) {
-        dist[r * n + c] =
-            cache != nullptr
-                ? cache->Get(bins_u[r].cell, bins_v[c].cell)
-                : MinDistanceMeters(bins_u[r].cell, bins_v[c].cell);
+        const CellId cell_v = vocab.cell(bins_i[vb + c]);
+        dist[r * n + c] = cache != nullptr ? cache->Get(cell_u, cell_v)
+                                           : MinDistanceMeters(cell_u, cell_v);
       }
     }
     stats->record_comparisons += static_cast<uint64_t>(m) * n;
@@ -92,8 +95,7 @@ double SimilarityEngine::ScoreHistories(const MobilityHistory& hu,
       if (IsAlibi(d, runaway_m_)) ++stats->alibi_pairs;
       double idf = 1.0;
       if (config_.use_idf) {
-        idf = std::min(set_u.Idf(w, bins_u[r].cell),
-                       set_v.Idf(w, bins_v[c].cell));
+        idf = std::min(idf_e[bins_e[ub + r]], idf_i[bins_i[vb + c]]);
       }
       return p * idf / norm;
     };
@@ -119,13 +121,6 @@ double SimilarityEngine::ScoreHistories(const MobilityHistory& hu,
     }
   }
   return score;
-}
-
-double SimilarityEngine::SelfScore(const MobilityHistory& hu,
-                                   const HistorySet& set_u,
-                                   SimilarityStats* stats,
-                                   CellDistanceCache* cache) const {
-  return ScoreHistories(hu, set_u, hu, set_u, stats, cache);
 }
 
 }  // namespace slim

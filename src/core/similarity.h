@@ -4,15 +4,20 @@
 //             P(e, i) * min(idf(e, E), idf(i, I)) / (L(u, E) * L(v, I))
 //
 // plus the optional mutually-furthest-neighbor pass that adds the *negative*
-// contributions (alibis) the nearest pairing missed. The engine also keeps
-// the instrumentation the evaluation reports: number of bin-pair distance
-// computations ("record comparisons") and number of alibi pairs detected.
+// contributions (alibis) the nearest pairing missed. The engine runs on the
+// dense interned representation (core/linkage_context.h): per-entity CSR
+// bin spans, flat IDF arrays indexed by BinId, and precomputed length
+// normalisations — no hash-map lookup anywhere on the scoring path. It also
+// keeps the instrumentation the evaluation reports: number of bin-pair
+// distance computations ("record comparisons") and number of alibi pairs
+// detected.
 #ifndef SLIM_CORE_SIMILARITY_H_
 #define SLIM_CORE_SIMILARITY_H_
 
 #include <cstdint>
+#include <vector>
 
-#include "core/history.h"
+#include "core/linkage_context.h"
 #include "core/proximity.h"
 #include "geo/distance_cache.h"
 
@@ -53,50 +58,53 @@ struct SimilarityStats {
   uint64_t alibi_pairs = 0;
   /// Entity pairs scored.
   uint64_t entity_pairs = 0;
+  /// CellDistanceCache hits/misses over the scoring loop. NOTE: the split
+  /// between hits and misses depends on how entities shard over worker
+  /// threads (each shard warms its own cache), so unlike every other
+  /// counter these are NOT invariant across thread counts — only
+  /// hits + misses (= record_comparisons when a cache is used) is.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   SimilarityStats& operator+=(const SimilarityStats& other) {
     record_comparisons += other.record_comparisons;
     alibi_pairs += other.alibi_pairs;
     entity_pairs += other.entity_pairs;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
     return *this;
   }
 };
 
-/// Scores pairs of histories across two HistorySets (dataset E on the left,
-/// dataset I on the right). Thread-safe: Score() is const and all mutable
-/// state lives in the caller-provided stats.
+/// Scores pairs of entities across the two stores of a LinkageContext
+/// (dataset E on the left, dataset I on the right). Thread-safe: scoring is
+/// const and all mutable state lives in the caller-provided stats/cache.
 class SimilarityEngine {
  public:
-  /// Both sets must be built with the same HistoryConfig.
-  SimilarityEngine(const HistorySet& set_e, const HistorySet& set_i,
+  /// The context must outlive the engine.
+  SimilarityEngine(const LinkageContext& context,
                    const SimilarityConfig& config);
 
   const SimilarityConfig& config() const { return config_; }
 
-  /// S(u, v) per Eq. 2. Unknown entities score 0. `cache` memoises cell
-  /// distances across calls (pass one per worker thread); nullptr computes
-  /// distances directly.
+  /// S(u, v) per Eq. 2 over dense indices (u into store_e, v into store_i).
+  /// `cache` memoises cell distances across calls (pass one per worker
+  /// thread); nullptr computes distances directly.
+  double ScoreIndexed(EntityIdx u, EntityIdx v, SimilarityStats* stats,
+                      CellDistanceCache* cache = nullptr) const;
+
+  /// Convenience entity-id overload; unknown entities score 0.
   double Score(EntityId u, EntityId v, SimilarityStats* stats,
                CellDistanceCache* cache = nullptr) const;
 
-  /// Score of two explicit histories, with hu treated as from E and hv from
-  /// I (exposed for the tuner, which scores within one dataset).
-  double ScoreHistories(const MobilityHistory& hu, const HistorySet& set_u,
-                        const MobilityHistory& hv, const HistorySet& set_v,
-                        SimilarityStats* stats,
-                        CellDistanceCache* cache = nullptr) const;
-
-  /// Self-similarity S(u, u) within set_u — both sides of Eq. 2 use the same
-  /// dataset statistics. Used by the spatial-level auto-tuner (Sec. 3.3).
-  double SelfScore(const MobilityHistory& hu, const HistorySet& set_u,
-                   SimilarityStats* stats,
-                   CellDistanceCache* cache = nullptr) const;
-
  private:
-  const HistorySet& set_e_;
-  const HistorySet& set_i_;
+  const LinkageContext& ctx_;
   SimilarityConfig config_;
   double runaway_m_;
+  // Precomputed L(u, E) / L(v, I) per entity (empty when normalisation is
+  // disabled or a side is empty).
+  std::vector<double> norm_e_;
+  std::vector<double> norm_i_;
 };
 
 }  // namespace slim

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/resource.h"
 
 namespace slim {
 namespace {
@@ -22,7 +24,7 @@ SlimLinker::SlimLinker(SlimConfig config) : config_(std::move(config)) {
   SLIM_CHECK_MSG(config_.history.spatial_level >= 0 &&
                      config_.history.spatial_level <= CellId::kMaxLevel,
                  "invalid spatial level");
-  SLIM_CHECK_MSG(!config_.use_lsh ||
+  SLIM_CHECK_MSG(config_.candidates != CandidateKind::kLsh ||
                      config_.lsh.signature_spatial_level <=
                          config_.history.spatial_level,
                  "LSH signature level must not exceed the history leaf level");
@@ -35,65 +37,60 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
   }
   const auto t_start = std::chrono::steady_clock::now();
   LinkageResult result;
+  result.candidates_used = config_.candidates;
   const int threads =
       config_.threads > 0 ? config_.threads : DefaultThreadCount();
 
-  // 1. Mobility histories (CreateHistories of Alg. 1).
+  // 1. Dense linkage context: bin vocabulary + the two CSR history stores
+  //    (CreateHistories of Alg. 1).
   auto t0 = std::chrono::steady_clock::now();
-  const HistorySet set_e =
-      HistorySet::Build(dataset_e, config_.history, threads);
-  const HistorySet set_i =
-      HistorySet::Build(dataset_i, config_.history, threads);
+  const LinkageContext ctx =
+      LinkageContext::Build(dataset_e, dataset_i, config_.history, threads);
   result.seconds_histories = SecondsSince(t0);
-  result.possible_pairs =
-      static_cast<uint64_t>(set_e.size()) * static_cast<uint64_t>(set_i.size());
-  if (set_e.size() == 0 || set_i.size() == 0) {
+  result.rss_peak_histories = CurrentPeakRssBytes();
+  result.possible_pairs = static_cast<uint64_t>(ctx.store_e.size()) *
+                          static_cast<uint64_t>(ctx.store_i.size());
+  if (ctx.store_e.size() == 0 || ctx.store_i.size() == 0) {
     result.seconds_total = SecondsSince(t_start);
+    result.rss_peak_total = CurrentPeakRssBytes();
     return result;
   }
 
-  // 2. Candidate filtering (LSHFilterPairs of Alg. 1).
+  // 2. Candidate generation (LSHFilterPairs of Alg. 1, generalised to the
+  //    configured blocking stage).
   t0 = std::chrono::steady_clock::now();
-  LshIndex lsh_index;
-  std::vector<EntityId> all_right;
-  if (config_.use_lsh) {
-    std::vector<LshIndex::Entry> left, right;
-    left.reserve(set_e.size());
-    right.reserve(set_i.size());
-    for (const auto& h : set_e.histories()) left.push_back({h.entity(), &h.tree()});
-    for (const auto& h : set_i.histories()) right.push_back({h.entity(), &h.tree()});
-    lsh_index = LshIndex::Build(left, right, config_.lsh, threads);
-    result.candidate_pairs = lsh_index.total_candidate_pairs();
-  } else {
-    all_right.reserve(set_i.size());
-    for (const auto& h : set_i.histories()) all_right.push_back(h.entity());
-    result.candidate_pairs = result.possible_pairs;
-  }
+  const std::unique_ptr<CandidateGenerator> generator = MakeCandidateGenerator(
+      config_.candidates, ctx, config_.lsh, config_.grid, threads);
+  result.candidate_pairs = generator->total_candidate_pairs();
   result.seconds_lsh = SecondsSince(t0);
+  result.rss_peak_lsh = CurrentPeakRssBytes();
 
   // 3. Pairwise similarity scores -> positive-score edges.
   t0 = std::chrono::steady_clock::now();
-  const SimilarityEngine engine(set_e, set_i, config_.similarity);
-  const auto& lefts = set_e.histories();
+  const SimilarityEngine engine(ctx, config_.similarity);
+  const size_t lefts = ctx.store_e.size();
   std::vector<std::vector<WeightedEdge>> shard_edges(
       static_cast<size_t>(threads));
   std::vector<SimilarityStats> shard_stats(static_cast<size_t>(threads));
 
   ParallelFor(
-      lefts.size(),
+      lefts,
       [&](size_t begin, size_t end, int shard) {
         auto& edges = shard_edges[static_cast<size_t>(shard)];
         auto& stats = shard_stats[static_cast<size_t>(shard)];
         CellDistanceCache cache;
         for (size_t k = begin; k < end; ++k) {
-          const EntityId u = lefts[k].entity();
-          const std::vector<EntityId>& cands =
-              config_.use_lsh ? lsh_index.CandidatesFor(u) : all_right;
-          for (EntityId v : cands) {
-            const double s = engine.Score(u, v, &stats, &cache);
-            if (s > 0.0) edges.push_back({u, v, s});
+          const EntityIdx u_idx = static_cast<EntityIdx>(k);
+          const EntityId u = ctx.store_e.entity_id(u_idx);
+          for (const EntityIdx v_idx : generator->CandidatesFor(u_idx)) {
+            const double s = engine.ScoreIndexed(u_idx, v_idx, &stats, &cache);
+            if (s > 0.0) {
+              edges.push_back({u, ctx.store_i.entity_id(v_idx), s});
+            }
           }
         }
+        stats.cache_hits += cache.hits();
+        stats.cache_misses += cache.misses();
       },
       threads);
 
@@ -119,6 +116,7 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
     result.graph = BipartiteGraph(std::move(edges));
   }
   result.seconds_scoring = SecondsSince(t0);
+  result.rss_peak_scoring = CurrentPeakRssBytes();
 
   // 4. Maximum-sum bipartite matching (LinkPairs of Alg. 1).
   t0 = std::chrono::steady_clock::now();
@@ -126,6 +124,7 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
                         ? HungarianMaxWeightMatching(result.graph)
                         : GreedyMaxWeightMatching(result.graph);
   result.seconds_matching = SecondsSince(t0);
+  result.rss_peak_matching = CurrentPeakRssBytes();
 
   // 5. Automated stop threshold over the matched edge weights.
   std::vector<double> weights;
@@ -155,6 +154,7 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
             });
 
   result.seconds_total = SecondsSince(t_start);
+  result.rss_peak_total = CurrentPeakRssBytes();
   return result;
 }
 

@@ -1,10 +1,15 @@
 // SLIM: Scalable Linkage of Mobility Histories — Algorithm 1 of the paper.
 //
-// Pipeline: build mobility histories for both datasets -> (optionally)
-// LSH-filter the candidate pairs -> compute pairwise similarity scores ->
-// build the weighted bipartite graph over positive scores -> maximum-sum
-// matching -> fit the 2-component GMM over matched edge weights and keep
-// only links above the automatically detected stop threshold.
+// Pipeline (a staged run over the dense LinkageContext):
+//   1. context  — intern both datasets into the shared bin vocabulary and
+//                 two CSR history stores (core/linkage_context.h)
+//   2. candidates — build the configured CandidateGenerator (LSH, brute
+//                 force, or grid blocking; core/candidates.h)
+//   3. scoring  — pairwise similarity over the proposed pairs -> weighted
+//                 bipartite graph over positive scores
+//   4. matching — maximum-sum matching
+//   5. threshold — fit the 2-component GMM over matched edge weights and
+//                 keep only links above the detected stop threshold.
 #ifndef SLIM_CORE_SLIM_H_
 #define SLIM_CORE_SLIM_H_
 
@@ -12,11 +17,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/candidates.h"
 #include "core/history.h"
+#include "core/linkage_context.h"
 #include "core/similarity.h"
 #include "core/threshold.h"
 #include "data/dataset.h"
-#include "lsh/lsh_index.h"
+#include "lsh/signature.h"
 #include "match/matcher.h"
 
 namespace slim {
@@ -36,16 +43,20 @@ struct SlimConfig {
   HistoryConfig history;
   SimilarityConfig similarity;
 
-  /// When false, every cross-dataset pair is scored (the paper's "no-LSH
-  /// SLIM" / brute-force reference).
-  bool use_lsh = true;
-  /// LSH parameters. Defaults to a deliberately coarse operating point
-  /// (level 10, 2-hour steps, t = 0.5) rather than LshConfig's own
-  /// Sec. 5.3.2 values — docs/TUNING.md explains the level/step/threshold
-  /// trade-offs and when to deviate.
+  /// Which candidate generator proposes the pairs to score. kBruteForce is
+  /// the paper's "no-LSH SLIM" reference (every cross-dataset pair); kGrid
+  /// is ST-Link-style co-visit blocking. docs/TUNING.md discusses the
+  /// trade-offs.
+  CandidateKind candidates = CandidateKind::kLsh;
+  /// LSH parameters (used when candidates == kLsh). Defaults to a
+  /// deliberately coarse operating point (level 10, 2-hour steps, t = 0.5)
+  /// rather than LshConfig's own Sec. 5.3.2 values — docs/TUNING.md
+  /// explains the level/step/threshold trade-offs and when to deviate.
   LshConfig lsh{.similarity_threshold = 0.5,
                 .signature_spatial_level = 10,
                 .temporal_step_windows = 8};
+  /// Grid-blocking parameters (used when candidates == kGrid).
+  GridBlockingConfig grid;
 
   ThresholdMethod threshold_method = ThresholdMethod::kGmmExpectedF1;
   /// When false, the matching is emitted unfiltered (no stop threshold) —
@@ -54,11 +65,11 @@ struct SlimConfig {
 
   MatcherKind matcher = MatcherKind::kGreedy;
 
-  /// Worker threads for every pipeline stage (history building, LSH
-  /// signatures and probing, pairwise scoring, edge assembly); <= 0 means
-  /// the library default (the SLIM_THREADS environment variable, else all
-  /// hardware threads — see common/parallel.h). Results are identical at
-  /// every thread count.
+  /// Worker threads for every pipeline stage (context building, candidate
+  /// generation, pairwise scoring, edge assembly); <= 0 means the library
+  /// default (the SLIM_THREADS environment variable, else all hardware
+  /// threads — see common/parallel.h). Results are identical at every
+  /// thread count.
   int threads = 0;
 };
 
@@ -88,18 +99,32 @@ struct LinkageResult {
   ThresholdDecision threshold;
   bool threshold_valid = false;
 
-  /// Scoring instrumentation (record comparisons, alibi pairs, ...).
+  /// Scoring instrumentation (record comparisons, alibi pairs, distance-
+  /// cache hits/misses, ...).
   SimilarityStats stats;
+  /// Which candidate generator produced the scored pairs.
+  CandidateKind candidates_used = CandidateKind::kLsh;
   /// Pairs considered after filtering vs the full cross product.
   uint64_t candidate_pairs = 0;
   uint64_t possible_pairs = 0;
 
-  /// Wall-clock seconds per phase.
+  /// Wall-clock seconds per phase. seconds_lsh times the candidate stage
+  /// whatever the generator (the name is kept for bench-record
+  /// compatibility).
   double seconds_histories = 0.0;
   double seconds_lsh = 0.0;
   double seconds_scoring = 0.0;
   double seconds_matching = 0.0;
   double seconds_total = 0.0;
+
+  /// Peak process RSS (bytes) sampled at the end of each phase, in phase
+  /// order; monotone non-decreasing (see common/resource.h). 0 on
+  /// platforms without getrusage.
+  uint64_t rss_peak_histories = 0;
+  uint64_t rss_peak_lsh = 0;
+  uint64_t rss_peak_scoring = 0;
+  uint64_t rss_peak_matching = 0;
+  uint64_t rss_peak_total = 0;
 };
 
 /// The SLIM linkage algorithm (Alg. 1). Construct once per configuration and

@@ -61,20 +61,21 @@ Result<TuningResult> AutoTuneSpatialLevel(const LocationDataset& dataset,
     HistoryConfig hc;
     hc.spatial_level = level;
     hc.window_seconds = options.window_seconds;
-    const HistorySet set = HistorySet::Build(dataset, hc);
-    const SimilarityEngine engine(set, set, probe_cfg);
+    // A symmetric context (the dataset on both sides) makes the self score
+    // S(u, u) a plain diagonal lookup.
+    const LinkageContext ctx = LinkageContext::Build(dataset, dataset, hc);
+    const SimilarityEngine engine(ctx, probe_cfg);
     SimilarityStats stats;
 
     double ratio_sum = 0.0;
     size_t ratio_count = 0;
     for (const auto& [u, v] : probes) {
-      const MobilityHistory* hu = set.Find(u);
-      const MobilityHistory* hv = set.Find(v);
-      if (hu == nullptr || hv == nullptr) continue;
-      const double self = engine.SelfScore(*hu, set, &stats);
+      const auto iu = ctx.store_e.IndexOf(u);
+      const auto iv = ctx.store_i.IndexOf(v);
+      if (!iu.has_value() || !iv.has_value()) continue;
+      const double self = engine.ScoreIndexed(*iu, *iu, &stats);
       if (self <= 0.0) continue;
-      const double pair =
-          engine.ScoreHistories(*hu, set, *hv, set, &stats);
+      const double pair = engine.ScoreIndexed(*iu, *iv, &stats);
       ratio_sum += pair / self;
       ++ratio_count;
     }

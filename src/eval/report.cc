@@ -1,7 +1,6 @@
 #include "eval/report.h"
 
 #include <algorithm>
-#include <cmath>
 #include <fstream>
 
 #include "common/strings.h"
@@ -32,6 +31,9 @@ std::string RenderLinkageReport(const LinkageResult& result,
     md += "- **stop threshold:** not applied (weight distribution did not "
           "support a two-population fit; all matched pairs kept)\n";
   }
+  md += StrFormat("- **candidate generator:** %s\n",
+                  std::string(CandidateKindName(result.candidates_used))
+                      .c_str());
   md += StrFormat(
       "- **pair space:** %s of %s possible pairs scored (%.2f%%)\n",
       FormatWithCommas(static_cast<int64_t>(result.candidate_pairs)).c_str(),
@@ -41,11 +43,21 @@ std::string RenderLinkageReport(const LinkageResult& result,
                 static_cast<double>(result.possible_pairs)
           : 0.0);
   md += StrFormat(
-      "- **record comparisons:** %s; alibi pairs hit: %s\n\n",
+      "- **record comparisons:** %s; alibi pairs hit: %s\n",
       FormatWithCommas(static_cast<int64_t>(result.stats.record_comparisons))
           .c_str(),
       FormatWithCommas(static_cast<int64_t>(result.stats.alibi_pairs))
           .c_str());
+  const uint64_t cache_lookups =
+      result.stats.cache_hits + result.stats.cache_misses;
+  md += StrFormat(
+      "- **distance cache:** %s hits / %s misses (%.1f%% hit rate)\n\n",
+      FormatWithCommas(static_cast<int64_t>(result.stats.cache_hits)).c_str(),
+      FormatWithCommas(static_cast<int64_t>(result.stats.cache_misses))
+          .c_str(),
+      cache_lookups > 0 ? 100.0 * static_cast<double>(result.stats.cache_hits) /
+                              static_cast<double>(cache_lookups)
+                        : 0.0);
 
   if (options.quality.has_value()) {
     const LinkageQuality& q = *options.quality;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -38,11 +39,36 @@ constexpr uint64_t kNoBucket = std::numeric_limits<uint64_t>::max();
 
 }  // namespace
 
+LshIndex::PositionIndex LshIndex::IndexPositions(
+    const std::vector<Entry>& side) {
+  PositionIndex index;
+  index.reserve(side.size());
+  for (size_t k = 0; k < side.size(); ++k) {
+    index.emplace_back(side[k].entity, static_cast<uint32_t>(k));
+  }
+  std::sort(index.begin(), index.end());
+  return index;
+}
+
+const uint32_t* LshIndex::FindPosition(const PositionIndex& index,
+                                       EntityId entity) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), entity,
+      [](const auto& pair, EntityId e) { return pair.first < e; });
+  if (it == index.end() || it->first != entity) return nullptr;
+  return &it->second;
+}
+
 LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
                          const std::vector<Entry>& side_i,
                          const LshConfig& config, int threads) {
   SLIM_CHECK_MSG(config.num_buckets >= 1, "num_buckets must be >= 1");
   LshIndex index;
+  index.candidates_.resize(side_e.size());
+  index.left_positions_ = IndexPositions(side_e);
+  index.right_positions_ = IndexPositions(side_i);
+  index.right_entities_.reserve(side_i.size());
+  for (const Entry& e : side_i) index.right_entities_.push_back(e.entity);
 
   // Global query grid over the union of occupied windows.
   int64_t w_lo = std::numeric_limits<int64_t>::max();
@@ -57,13 +83,19 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
   };
   widen(side_e);
   widen(side_i);
-  if (w_lo > w_hi) return index;  // nothing occupied anywhere
+  if (w_lo > w_hi) {
+    // Nothing occupied anywhere: empty signatures, no candidates.
+    index.left_signatures_.resize(side_e.size());
+    index.right_signatures_.resize(side_i.size());
+    return index;
+  }
 
   const int64_t w_end = w_hi + 1;
 
   // Signatures: one per entity, independent of each other — shard over
   // entities into pre-sized vectors (entity order fixed by the caller).
-  std::vector<LshSignature> sig_e(side_e.size()), sig_i(side_i.size());
+  index.left_signatures_.resize(side_e.size());
+  index.right_signatures_.resize(side_i.size());
   auto build_side = [&](const std::vector<Entry>& side,
                         std::vector<LshSignature>& out) {
     ParallelFor(
@@ -77,22 +109,15 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
         },
         threads);
   };
-  build_side(side_e, sig_e);
-  build_side(side_i, sig_i);
+  build_side(side_e, index.left_signatures_);
+  build_side(side_i, index.right_signatures_);
   index.signature_size_ =
-      !sig_e.empty() ? sig_e.front().size()
-                     : (!sig_i.empty() ? sig_i.front().size() : 0);
-  if (index.signature_size_ == 0) {
-    // Keep the (empty-signature) diagnostics maps consistent with the
-    // sequential result before returning.
-    for (size_t k = 0; k < side_e.size(); ++k) {
-      index.left_signatures_[side_e[k].entity] = std::move(sig_e[k]);
-    }
-    for (size_t k = 0; k < side_i.size(); ++k) {
-      index.right_signatures_[side_i[k].entity] = std::move(sig_i[k]);
-    }
-    return index;
-  }
+      !index.left_signatures_.empty()
+          ? index.left_signatures_.front().size()
+          : (!index.right_signatures_.empty()
+                 ? index.right_signatures_.front().size()
+                 : 0);
+  if (index.signature_size_ == 0) return index;
 
   // Banding (Lambert-W sizing).
   index.num_bands_ =
@@ -106,8 +131,8 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
   // are fully independent, and within a band rights are appended in side_i
   // order, so the tables never depend on scheduling.
   struct BandTable {
-    // bucket key -> right entities, in side_i order.
-    std::unordered_map<uint64_t, std::vector<EntityId>> right_buckets;
+    // bucket key -> right-side positions, in side_i order.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> right_buckets;
     // per left-entity index: its bucket key, or kNoBucket.
     std::vector<uint64_t> left_key;
   };
@@ -124,14 +149,16 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
           table.left_key.assign(side_e.size(), kNoBucket);
           uint64_t h;
           for (size_t k = 0; k < side_e.size(); ++k) {
-            if (HashBand(sig_e[k], row_begin, row_end, config.hash_seed, &h)) {
+            if (HashBand(index.left_signatures_[k], row_begin, row_end,
+                         config.hash_seed, &h)) {
               table.left_key[k] = h % config.num_buckets;
             }
           }
           for (size_t k = 0; k < side_i.size(); ++k) {
-            if (HashBand(sig_i[k], row_begin, row_end, config.hash_seed, &h)) {
+            if (HashBand(index.right_signatures_[k], row_begin, row_end,
+                         config.hash_seed, &h)) {
               table.right_buckets[h % config.num_buckets].push_back(
-                  side_i[k].entity);
+                  static_cast<uint32_t>(k));
             }
           }
         }
@@ -141,12 +168,11 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
   // Candidate gathering + de-duplication, sharded over left entities: each
   // left entity unions its bucket's rights across bands (band order) and
   // sorts/uniques its own list.
-  std::vector<std::vector<EntityId>> cands(side_e.size());
   ParallelFor(
       side_e.size(),
       [&](size_t begin, size_t end, int) {
         for (size_t k = begin; k < end; ++k) {
-          std::vector<EntityId>& list = cands[k];
+          std::vector<uint32_t>& list = index.candidates_[k];
           for (const BandTable& table : bands) {
             const uint64_t key = table.left_key[k];
             if (key == kNoBucket) continue;
@@ -160,34 +186,32 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
       },
       threads);
 
-  // Ordered merges into the lookup maps (and the candidate-pair total, in
-  // left-entity order).
-  for (size_t k = 0; k < side_e.size(); ++k) {
-    if (!cands[k].empty()) {
-      index.total_candidate_pairs_ += cands[k].size();
-      index.candidates_[side_e[k].entity] = std::move(cands[k]);
-    }
-    index.left_signatures_[side_e[k].entity] = std::move(sig_e[k]);
-  }
-  for (size_t k = 0; k < side_i.size(); ++k) {
-    index.right_signatures_[side_i[k].entity] = std::move(sig_i[k]);
+  // The candidate-pair total, in left-entity order.
+  for (const auto& list : index.candidates_) {
+    index.total_candidate_pairs_ += list.size();
   }
   return index;
 }
 
-const std::vector<EntityId>& LshIndex::CandidatesFor(EntityId u) const {
-  const auto it = candidates_.find(u);
-  return it == candidates_.end() ? empty_ : it->second;
+std::vector<EntityId> LshIndex::CandidatesFor(EntityId u) const {
+  const uint32_t* pos = FindPosition(left_positions_, u);
+  if (pos == nullptr) return {};
+  std::vector<EntityId> out;
+  out.reserve(candidates_[*pos].size());
+  for (const uint32_t right_pos : candidates_[*pos]) {
+    out.push_back(right_entities_[right_pos]);
+  }
+  return out;
 }
 
 const LshSignature* LshIndex::LeftSignature(EntityId u) const {
-  const auto it = left_signatures_.find(u);
-  return it == left_signatures_.end() ? nullptr : &it->second;
+  const uint32_t* pos = FindPosition(left_positions_, u);
+  return pos == nullptr ? nullptr : &left_signatures_[*pos];
 }
 
 const LshSignature* LshIndex::RightSignature(EntityId v) const {
-  const auto it = right_signatures_.find(v);
-  return it == right_signatures_.end() ? nullptr : &it->second;
+  const uint32_t* pos = FindPosition(right_positions_, v);
+  return pos == nullptr ? nullptr : &right_signatures_[*pos];
 }
 
 }  // namespace slim

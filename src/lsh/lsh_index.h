@@ -6,11 +6,15 @@
 // from the similarity threshold via the Lambert-W sizing (signature.h).
 // Placeholder rows are omitted from a band's hash; a band that is entirely
 // placeholders is not hashed at all (an empty band carries no evidence).
+//
+// Storage is dense: signatures and candidate lists live in flat per-side
+// vectors addressed by entry position, with one sorted (entity -> position)
+// array per side backing the EntityId lookups — no per-entity hash maps.
 #ifndef SLIM_LSH_LSH_INDEX_H_
 #define SLIM_LSH_LSH_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "data/record.h"
@@ -44,9 +48,20 @@ class LshIndex {
                         const std::vector<Entry>& side_i,
                         const LshConfig& config, int threads = 0);
 
-  /// Sorted, de-duplicated right-side candidates for left entity `u`
-  /// (empty when u collided with nothing).
-  const std::vector<EntityId>& CandidatesFor(EntityId u) const;
+  /// Sorted, de-duplicated right-side candidates for left entity `u`,
+  /// materialised as entity ids (empty when u collided with nothing or was
+  /// not indexed). Lists ascend by right-side Build() position, which is
+  /// ascending entity id whenever side_i was passed in ascending order (as
+  /// every pipeline caller does). Diagnostics/tests API — the hot path
+  /// uses CandidatePositionsAt.
+  std::vector<EntityId> CandidatesFor(EntityId u) const;
+
+  /// Candidates of the left entity at Build() position `left_pos`, as
+  /// right-side Build() positions — zero-conversion access for dense
+  /// callers (core/candidates.h, where positions are EntityIdx).
+  const std::vector<uint32_t>& CandidatePositionsAt(size_t left_pos) const {
+    return candidates_[left_pos];
+  }
 
   /// Sum over left entities of their candidate count.
   uint64_t total_candidate_pairs() const { return total_candidate_pairs_; }
@@ -61,10 +76,21 @@ class LshIndex {
   const LshSignature* RightSignature(EntityId v) const;
 
  private:
-  std::unordered_map<EntityId, std::vector<EntityId>> candidates_;
-  std::unordered_map<EntityId, LshSignature> left_signatures_;
-  std::unordered_map<EntityId, LshSignature> right_signatures_;
-  std::vector<EntityId> empty_;
+  // Sorted (entity, Build position) pairs for one side.
+  using PositionIndex = std::vector<std::pair<EntityId, uint32_t>>;
+
+  static PositionIndex IndexPositions(const std::vector<Entry>& side);
+  static const uint32_t* FindPosition(const PositionIndex& index,
+                                      EntityId entity);
+
+  // Dense per-position storage, in Build() input order. Candidate lists
+  // hold right-side positions (indices into right_entities_).
+  std::vector<std::vector<uint32_t>> candidates_;  // per left position
+  std::vector<EntityId> right_entities_;
+  std::vector<LshSignature> left_signatures_;
+  std::vector<LshSignature> right_signatures_;
+  PositionIndex left_positions_;
+  PositionIndex right_positions_;
   uint64_t total_candidate_pairs_ = 0;
   size_t signature_size_ = 0;
   int num_bands_ = 0;

@@ -45,10 +45,12 @@
 #include "lsh/lsh_index.h"  // IWYU pragma: export
 #include "lsh/signature.h"  // IWYU pragma: export
 
-#include "core/history.h"     // IWYU pragma: export
-#include "core/pairing.h"     // IWYU pragma: export
-#include "core/proximity.h"   // IWYU pragma: export
-#include "core/similarity.h"  // IWYU pragma: export
+#include "core/candidates.h"       // IWYU pragma: export
+#include "core/history.h"          // IWYU pragma: export
+#include "core/linkage_context.h"  // IWYU pragma: export
+#include "core/pairing.h"          // IWYU pragma: export
+#include "core/proximity.h"        // IWYU pragma: export
+#include "core/similarity.h"       // IWYU pragma: export
 #include "core/slim.h"        // IWYU pragma: export
 #include "core/threshold.h"   // IWYU pragma: export
 #include "core/tuning.h"      // IWYU pragma: export

@@ -57,7 +57,8 @@ TEST(BuildSmoke, DefaultConfigMatchesDocumentedDefaults) {
   EXPECT_EQ(config.history.window_seconds, 900);
   EXPECT_DOUBLE_EQ(config.similarity.b, 0.5);
   EXPECT_DOUBLE_EQ(config.similarity.proximity.max_speed_mps, 2000.0 / 60.0);
-  EXPECT_TRUE(config.use_lsh);
+  EXPECT_EQ(config.candidates, CandidateKind::kLsh);
+  EXPECT_EQ(config.grid.max_bin_entities, 0u);
   EXPECT_DOUBLE_EQ(config.lsh.similarity_threshold, 0.5);
   EXPECT_EQ(config.lsh.signature_spatial_level, 10);
   EXPECT_EQ(config.lsh.temporal_step_windows, 8);

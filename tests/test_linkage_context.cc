@@ -1,0 +1,177 @@
+// Tests of the dense interned core (core/linkage_context.h): vocabulary
+// ordering and lookup, CSR layout equivalence with the sparse
+// MobilityHistory representation, and flat IDF agreement with the sparse
+// HistorySet statistics.
+#include "core/linkage_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/history.h"
+#include "data/cab_generator.h"
+#include "test_util.h"
+
+namespace slim {
+namespace {
+
+constexpr int64_t kWindow = 900;
+
+HistoryConfig Config(int level = 12) {
+  HistoryConfig c;
+  c.spatial_level = level;
+  c.window_seconds = kWindow;
+  return c;
+}
+
+LocationDataset RandomDataset(uint64_t seed, int entities, int records,
+                              const char* name) {
+  Rng rng(seed);
+  LocationDataset ds(name);
+  for (int e = 0; e < entities; ++e) {
+    for (int i = 0; i < records; ++i) {
+      ds.Add(e, testing::RandomPointInBox(&rng),
+             rng.NextInt64(0, 40) * kWindow + rng.NextInt64(0, kWindow - 1));
+    }
+  }
+  ds.Finalize();
+  return ds;
+}
+
+TEST(BinVocabulary, IdsAreDenseAndOrderedByWindowThenCell) {
+  const LocationDataset a = RandomDataset(1, 6, 40, "a");
+  const LocationDataset b = RandomDataset(2, 6, 40, "b");
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  ASSERT_GT(ctx.vocab.size(), 0u);
+  for (BinId bin = 1; bin < ctx.vocab.size(); ++bin) {
+    const bool ordered =
+        ctx.vocab.window(bin - 1) < ctx.vocab.window(bin) ||
+        (ctx.vocab.window(bin - 1) == ctx.vocab.window(bin) &&
+         ctx.vocab.cell(bin - 1) < ctx.vocab.cell(bin));
+    EXPECT_TRUE(ordered) << "bin " << bin;
+  }
+  // Find() inverts the id assignment, and misses report nullopt.
+  for (BinId bin = 0; bin < ctx.vocab.size(); ++bin) {
+    const auto found = ctx.vocab.Find(ctx.vocab.window(bin),
+                                      ctx.vocab.cell(bin));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, bin);
+  }
+  EXPECT_FALSE(ctx.vocab.Find(999999, ctx.vocab.cell(0)).has_value());
+}
+
+TEST(HistoryStore, CsrLayoutMatchesSparseHistories) {
+  const LocationDataset a = RandomDataset(3, 8, 60, "a");
+  const LocationDataset b = RandomDataset(4, 8, 60, "b");
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  const HistorySet sparse = HistorySet::Build(a, Config());
+
+  ASSERT_EQ(ctx.store_e.size(), sparse.size());
+  for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+    const MobilityHistory& h = sparse.histories()[u];
+    ASSERT_EQ(ctx.store_e.entity_id(u), h.entity());
+    EXPECT_EQ(*ctx.store_e.IndexOf(h.entity()), u);
+    ASSERT_EQ(ctx.store_e.num_bins(u), h.num_bins());
+    EXPECT_EQ(ctx.store_e.total_records(u), h.total_records());
+
+    // Bin spans must decode to the sparse bins, in the same order.
+    const auto bins = ctx.store_e.bins(u);
+    const auto counts = ctx.store_e.counts(u);
+    for (size_t k = 0; k < bins.size(); ++k) {
+      EXPECT_EQ(ctx.vocab.window(bins[k]), h.bins()[k].window);
+      EXPECT_EQ(ctx.vocab.cell(bins[k]), h.bins()[k].cell);
+      EXPECT_EQ(counts[k], h.bins()[k].record_count);
+      if (k > 0) {
+        EXPECT_LT(bins[k - 1], bins[k]);  // ascending BinIds
+      }
+    }
+
+    // Window index equivalence: same distinct windows, same per-window
+    // bins.
+    const auto windows = ctx.store_e.windows(u);
+    ASSERT_EQ(std::vector<int64_t>(windows.begin(), windows.end()),
+              h.windows());
+    for (size_t k = 0; k < windows.size(); ++k) {
+      const auto [begin, end] = ctx.store_e.WindowBinRange(u, k);
+      const auto sparse_span = h.BinsInWindow(windows[k]);
+      ASSERT_EQ(end - begin, sparse_span.size());
+      for (uint32_t pos = begin; pos < end; ++pos) {
+        EXPECT_EQ(ctx.vocab.window(ctx.store_e.bin_ids()[pos]), windows[k]);
+      }
+    }
+
+    // Trees carry the same aggregates.
+    EXPECT_EQ(ctx.store_e.tree(u).total_records(), h.tree().total_records());
+    EXPECT_EQ(ctx.store_e.tree(u).num_windows(), h.tree().num_windows());
+  }
+  EXPECT_DOUBLE_EQ(ctx.store_e.avg_bins(), sparse.avg_bins_per_history());
+}
+
+TEST(HistoryStore, FlatIdfAgreesWithSparseHistorySet) {
+  const LocationDataset a = RandomDataset(5, 10, 50, "a");
+  const LocationDataset b = RandomDataset(6, 10, 50, "b");
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  const HistorySet sparse_e = HistorySet::Build(a, Config());
+  const HistorySet sparse_i = HistorySet::Build(b, Config());
+
+  for (BinId bin = 0; bin < ctx.vocab.size(); ++bin) {
+    const int64_t w = ctx.vocab.window(bin);
+    const CellId cell = ctx.vocab.cell(bin);
+    EXPECT_EQ(ctx.store_e.bin_entity_count(bin),
+              sparse_e.BinEntityCount(w, cell));
+    EXPECT_EQ(ctx.store_i.bin_entity_count(bin),
+              sparse_i.BinEntityCount(w, cell));
+    // Bit-equal, not approximately equal: the dense pipeline must keep the
+    // sparse pipeline's arithmetic.
+    EXPECT_EQ(ctx.store_e.idf(bin), sparse_e.Idf(w, cell)) << "bin " << bin;
+    EXPECT_EQ(ctx.store_i.idf(bin), sparse_i.Idf(w, cell)) << "bin " << bin;
+  }
+  // Length normalisation agreement, at a few b values.
+  for (double bee : {0.0, 0.5, 1.0}) {
+    for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+      EXPECT_EQ(ctx.store_e.LengthNorm(u, bee),
+                sparse_e.LengthNorm(sparse_e.histories()[u], bee));
+    }
+  }
+}
+
+TEST(HistoryStore, LookupMissesReturnNullopt) {
+  const LocationDataset a = RandomDataset(7, 3, 20, "a");
+  const LocationDataset b = RandomDataset(8, 3, 20, "b");
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  EXPECT_FALSE(ctx.store_e.IndexOf(12345).has_value());
+  EXPECT_TRUE(ctx.store_e.IndexOf(0).has_value());
+}
+
+TEST(LinkageContext, EmptyDatasetsBuildEmptyStores) {
+  LocationDataset a("a"), b("b");
+  a.Finalize();
+  b.Finalize();
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  EXPECT_EQ(ctx.vocab.size(), 0u);
+  EXPECT_EQ(ctx.store_e.size(), 0u);
+  EXPECT_EQ(ctx.store_i.size(), 0u);
+  EXPECT_DOUBLE_EQ(ctx.store_e.avg_bins(), 0.0);
+}
+
+TEST(LinkageContext, RegionRecordsFanOutAcrossCells) {
+  // A region record must intern one bin per covered leaf cell, mirroring
+  // the sparse representation's Sec. 2.1 extension.
+  LocationDataset a("a"), b("b");
+  a.Add(0, {37.7, -122.4}, 100);
+  b.Add(0, {37.7, -122.4}, 100);
+  a.Finalize();
+  b.Finalize();
+  HistoryConfig point_cfg = Config(14);
+  HistoryConfig region_cfg = Config(14);
+  region_cfg.region_radius_meters = 3000.0;
+  const LinkageContext points = LinkageContext::Build(a, b, point_cfg);
+  const LinkageContext regions = LinkageContext::Build(a, b, region_cfg);
+  EXPECT_EQ(points.store_e.num_bins(0), 1u);
+  EXPECT_GT(regions.store_e.num_bins(0), 1u);
+  EXPECT_EQ(regions.store_e.total_records(0), 1u);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,103 @@
+// Greedy-vs-Hungarian matcher parity on small random instances: the exact
+// solver's total weight must bound the heuristic's from above, both must
+// produce valid one-to-one matchings, and on instances whose weights make
+// the optimum unambiguous the two must select identical links.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "match/bipartite.h"
+#include "match/matcher.h"
+
+namespace slim {
+namespace {
+
+BipartiteGraph RandomGraph(Rng* rng, size_t lefts, size_t rights,
+                           double edge_probability) {
+  std::vector<WeightedEdge> edges;
+  for (size_t u = 0; u < lefts; ++u) {
+    for (size_t v = 0; v < rights; ++v) {
+      if (!rng->NextBernoulli(edge_probability)) continue;
+      // Strictly positive, effectively tie-free weights.
+      edges.push_back({static_cast<EntityId>(u), static_cast<EntityId>(v),
+                       rng->NextDouble(0.01, 10.0)});
+    }
+  }
+  return BipartiteGraph(std::move(edges));
+}
+
+std::vector<std::pair<EntityId, EntityId>> PairSet(const Matching& m) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  pairs.reserve(m.pairs.size());
+  for (const auto& e : m.pairs) pairs.emplace_back(e.u, e.v);
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(MatcherParity, HungarianNeverScoresBelowGreedy) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t lefts = 1 + rng.NextUint64(8);
+    const size_t rights = 1 + rng.NextUint64(8);
+    const BipartiteGraph graph =
+        RandomGraph(&rng, lefts, rights, rng.NextDouble(0.2, 0.9));
+    const Matching greedy = GreedyMaxWeightMatching(graph);
+    const Matching exact = HungarianMaxWeightMatching(graph);
+    EXPECT_TRUE(greedy.IsValidMatching()) << "trial " << trial;
+    EXPECT_TRUE(exact.IsValidMatching()) << "trial " << trial;
+    EXPECT_GE(exact.total_weight, greedy.total_weight - 1e-9)
+        << "trial " << trial << ": the exact optimum must bound the greedy "
+        << "heuristic";
+    // Both totals must equal the sum of their own pairs.
+    for (const Matching* m : {&greedy, &exact}) {
+      double sum = 0.0;
+      for (const auto& e : m->pairs) sum += e.weight;
+      EXPECT_NEAR(m->total_weight, sum, 1e-9);
+    }
+  }
+}
+
+TEST(MatcherParity, IdenticalLinksWhenWeightsAreUnambiguous) {
+  // Diagonally dominant instances: every u's heaviest edge is (u, u) and
+  // the diagonals strictly dominate all off-diagonal weights, so the unique
+  // optimum is the diagonal and the greedy heuristic must find exactly it.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextUint64(7);
+    std::vector<WeightedEdge> edges;
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = 0; v < n; ++v) {
+        const double w = u == v ? rng.NextDouble(10.0, 20.0)
+                                : rng.NextDouble(0.01, 1.0);
+        edges.push_back(
+            {static_cast<EntityId>(u), static_cast<EntityId>(v), w});
+      }
+    }
+    const BipartiteGraph graph{std::move(edges)};
+    const Matching greedy = GreedyMaxWeightMatching(graph);
+    const Matching exact = HungarianMaxWeightMatching(graph);
+    ASSERT_EQ(greedy.pairs.size(), n) << "trial " << trial;
+    EXPECT_EQ(PairSet(greedy), PairSet(exact)) << "trial " << trial;
+    EXPECT_NEAR(greedy.total_weight, exact.total_weight, 1e-9);
+    for (const auto& [u, v] : PairSet(greedy)) EXPECT_EQ(u, v);
+  }
+}
+
+TEST(MatcherParity, GreedySuboptimalityIsBoundedByHalf) {
+  // The greedy heuristic is a 1/2-approximation for maximum weight
+  // matching; verify the bound holds on adversarial-ish random instances.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BipartiteGraph graph = RandomGraph(&rng, 6, 6, 0.8);
+    const Matching greedy = GreedyMaxWeightMatching(graph);
+    const Matching exact = HungarianMaxWeightMatching(graph);
+    if (exact.total_weight == 0.0) continue;
+    EXPECT_GE(greedy.total_weight, 0.5 * exact.total_weight - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace slim

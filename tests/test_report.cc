@@ -21,7 +21,7 @@ const LinkageResult& SampleResult() {
     auto s = SampleLinkedPair(master, opt);
     SLIM_CHECK(s.ok());
     SlimConfig cfg;
-    cfg.use_lsh = false;
+    cfg.candidates = CandidateKind::kBruteForce;
     auto r = SlimLinker(cfg).Link(s->a, s->b);
     SLIM_CHECK(r.ok());
     return std::move(r.value());

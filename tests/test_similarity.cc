@@ -55,9 +55,8 @@ LocationDataset MakeDataset(
 double ScorePair(const LocationDataset& e, const LocationDataset& i,
                  const SimilarityConfig& cfg, EntityId u, EntityId v,
                  SimilarityStats* stats_out = nullptr) {
-  const HistorySet se = HistorySet::Build(e, Config());
-  const HistorySet si = HistorySet::Build(i, Config());
-  const SimilarityEngine engine(se, si, cfg);
+  const LinkageContext ctx = LinkageContext::Build(e, i, Config());
+  const SimilarityEngine engine(ctx, cfg);
   SimilarityStats stats;
   const double s = engine.Score(u, v, &stats);
   if (stats_out != nullptr) *stats_out = stats;
@@ -234,11 +233,11 @@ TEST(Similarity, ScoreIsSymmetricUnderSideSwap) {
   const auto i = MakeDataset(
       "I", {{5, {{0, kHome}, {1, kHome}, {2, kNearby}}},
             {6, {{3, kNearby}}}});
-  const HistorySet se = HistorySet::Build(e, Config());
-  const HistorySet si = HistorySet::Build(i, Config());
+  const LinkageContext fwd_ctx = LinkageContext::Build(e, i, Config());
+  const LinkageContext rev_ctx = LinkageContext::Build(i, e, Config());
   SimilarityConfig cfg;  // full scoring, defaults
-  const SimilarityEngine fwd(se, si, cfg);
-  const SimilarityEngine rev(si, se, cfg);
+  const SimilarityEngine fwd(fwd_ctx, cfg);
+  const SimilarityEngine rev(rev_ctx, cfg);
   SimilarityStats st;
   for (EntityId u : {0, 1}) {
     for (EntityId v : {5, 6}) {
@@ -251,9 +250,8 @@ TEST(Similarity, ScoreIsSymmetricUnderSideSwap) {
 TEST(Similarity, UnknownEntitiesScoreZero) {
   const auto e = MakeDataset("E", {{0, {{0, kHome}}}});
   const auto i = MakeDataset("I", {{0, {{0, kHome}}}});
-  const HistorySet se = HistorySet::Build(e, Config());
-  const HistorySet si = HistorySet::Build(i, Config());
-  const SimilarityEngine engine(se, si, SimilarityConfig{});
+  const LinkageContext ctx = LinkageContext::Build(e, i, Config());
+  const SimilarityEngine engine(ctx, SimilarityConfig{});
   SimilarityStats st;
   EXPECT_DOUBLE_EQ(engine.Score(99, 0, &st), 0.0);
   EXPECT_DOUBLE_EQ(engine.Score(0, 99, &st), 0.0);
@@ -277,16 +275,17 @@ TEST(Similarity, SelfScoreIsPositiveAndMaximalForAnchoredEntities) {
   for (int k = 0; k < 6; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 10, kWindow);
-  const HistorySet set = HistorySet::Build(ds, Config());
-  const SimilarityEngine engine(set, set, SimilarityConfig{});
+  // Symmetric context: the dataset on both sides, so S(u, u) is the self
+  // score the auto-tuner relies on.
+  const LinkageContext ctx = LinkageContext::Build(ds, ds, Config());
+  const SimilarityEngine engine(ctx, SimilarityConfig{});
   SimilarityStats st;
-  for (const auto& h : set.histories()) {
-    const double self = engine.SelfScore(h, set, &st);
+  for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+    const double self = engine.ScoreIndexed(u, u, &st);
     EXPECT_GT(self, 0.0);
-    for (const auto& other : set.histories()) {
-      if (other.entity() == h.entity()) continue;
-      EXPECT_GE(self,
-                engine.ScoreHistories(h, set, other, set, &st) - 1e-9);
+    for (EntityIdx v = 0; v < ctx.store_i.size(); ++v) {
+      if (v == u) continue;
+      EXPECT_GE(self, engine.ScoreIndexed(u, v, &st) - 1e-9);
     }
   }
 }

@@ -39,7 +39,7 @@ LinkedPairSample CabSample(double rho = 0.5, double p = 0.5,
 
 SlimConfig DefaultConfig(bool lsh = false) {
   SlimConfig c;
-  c.use_lsh = lsh;
+  c.candidates = lsh ? CandidateKind::kLsh : CandidateKind::kBruteForce;
   // LSH operating point for this small dense cab workload (see the Fig. 8
   // sweep): coarse level-10 signatures, 2-hour queries, permissive t.
   c.lsh.signature_spatial_level = 10;

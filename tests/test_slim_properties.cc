@@ -53,7 +53,7 @@ class BParamSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(BParamSweep, HealthyAndAccurate) {
   SlimConfig cfg;
-  cfg.use_lsh = false;
+  cfg.candidates = CandidateKind::kBruteForce;
   cfg.threads = 2;
   cfg.similarity.b = GetParam();
   auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
@@ -72,7 +72,7 @@ class ThresholdMethodSweep
 
 TEST_P(ThresholdMethodSweep, HealthyAndAccurate) {
   SlimConfig cfg;
-  cfg.use_lsh = false;
+  cfg.candidates = CandidateKind::kBruteForce;
   cfg.threads = 2;
   cfg.threshold_method = GetParam();
   auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
@@ -92,7 +92,7 @@ class RegionRadiusSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(RegionRadiusSweep, HealthyAndAccurate) {
   SlimConfig cfg;
-  cfg.use_lsh = false;
+  cfg.candidates = CandidateKind::kBruteForce;
   cfg.threads = 2;
   cfg.history.spatial_level = 13;
   cfg.history.region_radius_meters = GetParam();
@@ -112,7 +112,7 @@ class SpeedSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(SpeedSweep, HealthyAtAnySpeedLimit) {
   SlimConfig cfg;
-  cfg.use_lsh = false;
+  cfg.candidates = CandidateKind::kBruteForce;
   cfg.threads = 2;
   cfg.similarity.proximity.max_speed_mps = GetParam();
   auto r = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
@@ -127,7 +127,7 @@ INSTANTIATE_TEST_SUITE_P(Speeds, SpeedSweep,
 
 TEST(SlimDeterminism, RepeatedRunsAreIdentical) {
   SlimConfig cfg;
-  cfg.use_lsh = true;
+  cfg.candidates = CandidateKind::kLsh;
   cfg.threads = 2;
   auto r1 = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
   auto r2 = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
@@ -145,7 +145,7 @@ TEST(SlimDeterminism, RepeatedRunsAreIdentical) {
 
 TEST(SlimSymmetry, SwappingSidesPreservesThePairSet) {
   SlimConfig cfg;
-  cfg.use_lsh = false;
+  cfg.candidates = CandidateKind::kBruteForce;
   cfg.threads = 2;
   auto fwd = SlimLinker(cfg).Link(EasySample().a, EasySample().b);
   auto rev = SlimLinker(cfg).Link(EasySample().b, EasySample().a);

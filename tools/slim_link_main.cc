@@ -4,7 +4,8 @@
 //             [--format auto|csv|sbin] [--io_threads N]
 //             [--spatial_level N | --auto_tune]
 //             [--window_minutes M] [--b_param X] [--max_speed_kmh S]
-//             [--no_lsh] [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
+//             [--candidates lsh|brute|grid] [--no_lsh] [--grid_max_bin N]
+//             [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
 //             [--lsh_buckets N] [--threshold gmm|otsu|two_means|none]
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
 //             [--bench_json PATH]
@@ -54,7 +55,11 @@ void Usage() {
       "(default 0.5)\n"
       "  --max_speed_kmh S     alibi speed limit (default 120)\n"
       "  --region_radius_m R   treat records as R-meter regions (default 0)\n"
-      "  --no_lsh              score every pair (brute force)\n"
+      "  --candidates KIND     candidate generator: lsh|brute|grid "
+      "(default lsh)\n"
+      "  --no_lsh              alias for --candidates brute\n"
+      "  --grid_max_bin N      grid blocking: skip bins shared by > N right\n"
+      "                        entities (default 0 = no cap)\n"
       "  --lsh_level N         signature spatial level (default 10)\n"
       "  --lsh_step N          query step in leaf windows (default 8)\n"
       "  --lsh_threshold T     candidate similarity threshold (default 0.5)\n"
@@ -65,8 +70,9 @@ void Usage() {
       "  --threads N           worker threads for every pipeline stage\n"
       "                        (default: SLIM_THREADS env, else hardware)\n"
       "  --report PATH         also write a markdown linkage report\n"
-      "  --bench_json PATH     also write per-stage wall times as JSON\n"
-      "                        (schema slim-link-bench-v1; see "
+      "  --bench_json PATH     also write per-stage wall times, distance-\n"
+      "                        cache efficacy, and peak RSS as JSON\n"
+      "                        (schema slim-link-bench-v2; see "
       "docs/BENCHMARKS.md)\n");
 }
 
@@ -111,7 +117,23 @@ int main(int argc, char** argv) {
   config.similarity.b = flags.GetDouble("b_param", 0.5);
   config.similarity.proximity.max_speed_mps =
       flags.GetDouble("max_speed_kmh", 120.0) / 3.6;
-  config.use_lsh = !flags.GetBool("no_lsh", false);
+  const std::string candidates_flag = flags.GetString("candidates", "");
+  auto candidates = slim::ParseCandidateKind(
+      candidates_flag.empty() ? "lsh" : candidates_flag);
+  if (!candidates.ok()) slim::tools::Flags::Fail(candidates.status().ToString());
+  config.candidates = *candidates;
+  if (flags.GetBool("no_lsh", false)) {
+    // Legacy alias. Refuse a contradictory explicit --candidates rather
+    // than silently discarding it.
+    if (!candidates_flag.empty() &&
+        *candidates != slim::CandidateKind::kBruteForce) {
+      slim::tools::Flags::Fail("--no_lsh conflicts with --candidates " +
+                               candidates_flag);
+    }
+    config.candidates = slim::CandidateKind::kBruteForce;
+  }
+  config.grid.max_bin_entities =
+      static_cast<uint32_t>(flags.GetInt("grid_max_bin", 0));
   config.lsh.signature_spatial_level =
       static_cast<int>(flags.GetInt("lsh_level", 10));
   config.lsh.temporal_step_windows =
@@ -181,31 +203,52 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"slim-link-bench-v1\",\n"
+        "  \"schema\": \"slim-link-bench-v2\",\n"
         "  \"a\": \"%s\",\n"
         "  \"b\": \"%s\",\n"
         "  \"entities_a\": %zu,\n"
         "  \"entities_b\": %zu,\n"
         "  \"threads\": %d,\n"
+        "  \"candidates\": \"%s\",\n"
         "  \"candidate_pairs\": %llu,\n"
         "  \"possible_pairs\": %llu,\n"
         "  \"links\": %zu,\n"
+        "  \"distance_cache\": {\n"
+        "    \"hits\": %llu,\n"
+        "    \"misses\": %llu\n"
+        "  },\n"
         "  \"seconds\": {\n"
         "    \"histories\": %.6f,\n"
         "    \"lsh\": %.6f,\n"
         "    \"scoring\": %.6f,\n"
         "    \"matching\": %.6f,\n"
         "    \"total\": %.6f\n"
+        "  },\n"
+        "  \"peak_rss_bytes\": {\n"
+        "    \"histories\": %llu,\n"
+        "    \"lsh\": %llu,\n"
+        "    \"scoring\": %llu,\n"
+        "    \"matching\": %llu,\n"
+        "    \"total\": %llu\n"
         "  }\n"
         "}\n",
         JsonEscape(path_a).c_str(), JsonEscape(path_b).c_str(),
         a->num_entities(), b->num_entities(),
         config.threads > 0 ? config.threads : slim::DefaultThreadCount(),
+        std::string(slim::CandidateKindName(result->candidates_used)).c_str(),
         static_cast<unsigned long long>(result->candidate_pairs),
         static_cast<unsigned long long>(result->possible_pairs),
-        result->links.size(), result->seconds_histories, result->seconds_lsh,
+        result->links.size(),
+        static_cast<unsigned long long>(result->stats.cache_hits),
+        static_cast<unsigned long long>(result->stats.cache_misses),
+        result->seconds_histories, result->seconds_lsh,
         result->seconds_scoring, result->seconds_matching,
-        result->seconds_total);
+        result->seconds_total,
+        static_cast<unsigned long long>(result->rss_peak_histories),
+        static_cast<unsigned long long>(result->rss_peak_lsh),
+        static_cast<unsigned long long>(result->rss_peak_scoring),
+        static_cast<unsigned long long>(result->rss_peak_matching),
+        static_cast<unsigned long long>(result->rss_peak_total));
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", bench_json_path.c_str());
   }
