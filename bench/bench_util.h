@@ -5,6 +5,7 @@
 #ifndef SLIM_BENCH_BENCH_UTIL_H_
 #define SLIM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +55,8 @@ inline SlimConfig DefaultSlimConfig() {
   cfg.history.spatial_level = 12;
   cfg.history.window_seconds = 900;
   cfg.similarity.b = 0.5;
-  cfg.candidates = CandidateKind::kBruteForce;  // figures opt into LSH explicitly
+  // Figures opt into LSH explicitly.
+  cfg.candidates = CandidateKind::kBruteForce;
   return cfg;
 }
 
@@ -144,10 +146,14 @@ class JsonWriter {
 };
 
 /// One (entities, threads) run of the pipeline bench, as read back from a
-/// BENCH_pipeline.json; see bench_pipeline.cc for the writing side.
+/// BENCH_pipeline.json or BENCH_sharded.json; see bench_pipeline.cc /
+/// bench_sharded.cc for the writing sides.
 struct PipelineRunRecord {
   uint64_t entities = 0;
   int threads = 0;
+  // Right-side shard count of the run; 0 for pre-v3 records (monolithic
+  // pipeline documents carry no "shards" key).
+  int shards = 0;
   // Stage name -> wall seconds ("histories", "lsh", "scoring", "matching",
   // "total").
   std::vector<std::pair<std::string, double>> seconds;
@@ -164,13 +170,69 @@ struct PipelineRunRecord {
   }
 };
 
-/// Extracts the runs of a BENCH_pipeline.json document (schema v1 or v2).
-/// Not a general JSON parser: it scans for the known keys in the order
-/// bench_pipeline emits them ("entities", then "threads", then the
-/// "seconds" object, then — v2 only — the "peak_rss_bytes" object), which
-/// is also resilient to hand-edited whitespace. Unknown content is skipped.
+/// The key vocabulary of every bench-record schema the repo has shipped
+/// (v1 pipeline seconds, v2 + RSS/distance-cache, v3 + sharding). Keys a
+/// reader meets outside this list signal baseline/schema drift.
+inline bool IsKnownBenchKey(const std::string& key) {
+  static const char* const kKnown[] = {
+      // Document level.
+      "schema", "workload", "quick", "hardware_threads", "deterministic",
+      "runs", "monolithic_probes", "extrapolated_monolithic",
+      "rss_reduction_vs_extrapolated", "target_entities", "exponent",
+      // Run level.
+      "entities", "threads", "shards", "links", "links_hash",
+      "candidate_pairs", "possible_pairs", "seconds", "speedup_vs_first",
+      "peak_rss_bytes", "block_bytes", "distance_cache", "hits", "misses",
+      "spilled_edges", "spill_on_disk",
+      // Stage names (inside seconds / speedup / RSS objects).
+      "histories", "lsh", "scoring", "matching", "total"};
+  for (const char* known : kKnown) {
+    if (key == known) return true;
+  }
+  return false;
+}
+
+/// Scans a bench-record document for JSON keys outside the known schema
+/// vocabulary and logs each distinct one to stderr — once per process — so
+/// v1/v2/v3 baseline drift shows up in CI output instead of being
+/// silently skipped by the scanning readers below.
+inline void WarnUnknownBenchKeys(const std::string& json) {
+  static std::vector<std::string>* warned = new std::vector<std::string>();
+  size_t pos = 0;
+  while ((pos = json.find('"', pos)) != std::string::npos) {
+    const size_t key_end = json.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    size_t after = key_end + 1;
+    while (after < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[after])) != 0) {
+      ++after;
+    }
+    // A quoted token followed by ':' is a key; anything else is a value.
+    if (after < json.size() && json[after] == ':') {
+      const std::string key = json.substr(pos + 1, key_end - pos - 1);
+      if (!IsKnownBenchKey(key) &&
+          std::find(warned->begin(), warned->end(), key) == warned->end()) {
+        warned->push_back(key);
+        std::fprintf(stderr,
+                     "bench_util: skipping unknown bench-record key \"%s\" "
+                     "(schema drift? see docs/BENCHMARKS.md)\n",
+                     key.c_str());
+      }
+    }
+    pos = key_end + 1;
+  }
+}
+
+/// Extracts the runs of a BENCH_pipeline.json / BENCH_sharded.json document
+/// (schema v1, v2, or v3). Not a general JSON parser: it scans for the
+/// known keys in the order the benches emit them ("entities", then
+/// "threads", then — v3 only — "shards", then the "seconds" object,
+/// then — v2+ — the "peak_rss_bytes" object), which is also resilient to
+/// hand-edited whitespace. Unknown keys are skipped (and logged once, see
+/// WarnUnknownBenchKeys).
 inline std::vector<PipelineRunRecord> ParsePipelineRuns(
     const std::string& json) {
+  WarnUnknownBenchKeys(json);
   std::vector<PipelineRunRecord> runs;
   auto number_after = [&](size_t pos) -> double {
     while (pos < json.size() &&
@@ -211,6 +273,12 @@ inline std::vector<PipelineRunRecord> ParsePipelineRuns(
         static_cast<int>(number_after(threads_pos + sizeof("\"threads\"") - 1));
     const size_t seconds_pos = json.find("\"seconds\"", threads_pos);
     if (seconds_pos == std::string::npos) break;
+    // v3: an optional per-run shard count between "threads" and "seconds".
+    const size_t shards_pos = json.find("\"shards\"", threads_pos);
+    if (shards_pos != std::string::npos && shards_pos < seconds_pos) {
+      run.shards =
+          static_cast<int>(number_after(shards_pos + sizeof("\"shards\"") - 1));
+    }
     const size_t close = parse_stage_object(seconds_pos, &run.seconds);
     if (close == std::string::npos) break;
     // v2: an optional peak_rss_bytes object belonging to this run (it must

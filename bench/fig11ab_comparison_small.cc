@@ -52,7 +52,8 @@ void Run() {
     // SLIM with LSH.
     {
       SlimConfig cfg = bench::DefaultSlimConfig();
-      cfg.candidates = CandidateKind::kLsh;  // library-default conservative LSH point
+      // Library-default conservative LSH operating point.
+      cfg.candidates = CandidateKind::kLsh;
       auto r = SlimLinker(cfg).Link(sample->a, sample->b);
       SLIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());
       table.AddRow({Fmt(avg, 0), "SLIM",

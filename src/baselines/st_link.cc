@@ -54,8 +54,9 @@ StLinkLinker::StLinkLinker(StLinkConfig config) : config_(std::move(config)) {
                  "co-location radius must be positive");
 }
 
-Result<StLinkResult> StLinkLinker::Link(const LocationDataset& dataset_e,
-                                        const LocationDataset& dataset_i) const {
+Result<StLinkResult> StLinkLinker::Link(
+    const LocationDataset& dataset_e,
+    const LocationDataset& dataset_i) const {
   if (!dataset_e.finalized() || !dataset_i.finalized()) {
     return Status::FailedPrecondition("datasets must be finalized");
   }

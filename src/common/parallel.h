@@ -116,9 +116,10 @@ class ThreadPool {
 /// thread count and merge them in shard order — that merge order, plus the
 /// deterministic shard partition, is what makes every SLIM stage produce
 /// identical results at any thread count.
-void ParallelFor(size_t n,
-                 const std::function<void(size_t begin, size_t end, int shard)>& fn,
-                 int threads = 0);
+void ParallelFor(
+    size_t n,
+    const std::function<void(size_t begin, size_t end, int shard)>& fn,
+    int threads = 0);
 
 }  // namespace slim
 

@@ -95,7 +95,8 @@ uint64_t Rng::NextZipf(uint64_t n, double exponent) {
     return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
   };
   auto h_inv = [s](double y) {
-    return s == 1.0 ? std::exp(y) : std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+    return s == 1.0 ? std::exp(y)
+                    : std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
   };
   const double hmax = h(nd + 0.5);
   const double hmin = h(0.5);

@@ -1,6 +1,7 @@
 #include "core/candidates.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -36,78 +37,121 @@ struct CandidateCsr {
   }
 };
 
+// The query-grid span of the FULL problem (union of both stores' occupied
+// windows). Every LSH build — monolithic or shard — pins its grid to this
+// span, so signatures never depend on which right-side subset was indexed.
+LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  auto widen = [&](const HistoryStore& store) {
+    for (EntityIdx k = 0; k < store.size(); ++k) {
+      const WindowSegmentTree& tree = store.tree(k);
+      if (tree.empty()) continue;
+      lo = std::min(lo, tree.min_window());
+      hi = std::max(hi, tree.max_window());
+    }
+  };
+  widen(ctx.store_e);
+  widen(ctx.store_i);
+  if (lo > hi) return {0, 0};
+  return {lo, hi + 1};
+}
+
+// Every cross pair against the right shard [begin, end).
 class BruteForceCandidates final : public CandidateGenerator {
  public:
-  explicit BruteForceCandidates(const LinkageContext& ctx)
-      : lefts_(ctx.store_e.size()), all_right_(ctx.store_i.size()) {
-    std::iota(all_right_.begin(), all_right_.end(), EntityIdx{0});
+  BruteForceCandidates(size_t lefts, EntityIdx begin, EntityIdx end)
+      : lefts_(lefts), shard_right_(end - begin) {
+    std::iota(shard_right_.begin(), shard_right_.end(), begin);
   }
 
   std::string_view name() const override { return "brute"; }
   std::span<const EntityIdx> CandidatesFor(EntityIdx) const override {
-    return all_right_;
+    return shard_right_;
   }
   uint64_t total_candidate_pairs() const override {
-    return static_cast<uint64_t>(lefts_) * all_right_.size();
+    return static_cast<uint64_t>(lefts_) * shard_right_.size();
   }
 
  private:
   size_t lefts_;
-  std::vector<EntityIdx> all_right_;
+  std::vector<EntityIdx> shard_right_;
 };
 
 class LshCandidates final : public CandidateGenerator {
  public:
   LshCandidates(const LinkageContext& ctx, const LshConfig& config,
-                int threads) {
+                EntityIdx right_begin, EntityIdx right_end, int threads) {
     std::vector<LshIndex::Entry> left, right;
     left.reserve(ctx.store_e.size());
-    right.reserve(ctx.store_i.size());
+    right.reserve(right_end - right_begin);
     for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
       left.push_back({ctx.store_e.entity_id(u), &ctx.store_e.tree(u)});
     }
-    for (EntityIdx v = 0; v < ctx.store_i.size(); ++v) {
+    for (EntityIdx v = right_begin; v < right_end; ++v) {
       right.push_back({ctx.store_i.entity_id(v), &ctx.store_i.tree(v)});
     }
-    index_ = LshIndex::Build(left, right, config, threads);
+    // The grid is pinned to the full problem's span, so a shard build's
+    // band hashes — and therefore its collisions — are exactly the full
+    // build's restricted to [right_begin, right_end).
+    const LshWindowSpan span = GlobalWindowSpan(ctx);
+    const LshIndex index = LshIndex::Build(left, right, config, threads, &span);
+    total_candidate_pairs_ = index.total_candidate_pairs();
+
+    // Re-key subset positions to global right EntityIdx and drop the index:
+    // signatures and bucket tables are construction scaffolding here, and
+    // freeing them keeps only the candidate lists resident.
+    static_assert(std::is_same_v<EntityIdx, uint32_t>);
+    csr_.offsets.assign(left.size() + 1, 0);
+    for (size_t k = 0; k < left.size(); ++k) {
+      csr_.offsets[k + 1] =
+          csr_.offsets[k] + index.CandidatePositionsAt(k).size();
+    }
+    csr_.flat.resize(csr_.offsets.back());
+    size_t pos = 0;
+    for (size_t k = 0; k < left.size(); ++k) {
+      for (const uint32_t p : index.CandidatePositionsAt(k)) {
+        csr_.flat[pos++] = p + right_begin;
+      }
+    }
   }
 
   std::string_view name() const override { return "lsh"; }
   std::span<const EntityIdx> CandidatesFor(EntityIdx u) const override {
-    // The index was built in store order, so its right-side positions ARE
-    // the dense EntityIdx values — no re-keying.
-    static_assert(std::is_same_v<EntityIdx, uint32_t>);
-    return index_.CandidatePositionsAt(u);
+    return csr_.SpanOf(u);
   }
   uint64_t total_candidate_pairs() const override {
-    return index_.total_candidate_pairs();
+    return total_candidate_pairs_;
   }
-  /// The underlying index (signature diagnostics, tests).
-  const LshIndex& index() const { return index_; }
 
  private:
-  LshIndex index_;
+  CandidateCsr csr_;
+  uint64_t total_candidate_pairs_ = 0;
 };
 
 class GridBlockingCandidates final : public CandidateGenerator {
  public:
   GridBlockingCandidates(const LinkageContext& ctx,
-                         const GridBlockingConfig& config, int threads) {
+                         const GridBlockingConfig& config,
+                         EntityIdx right_begin, EntityIdx right_end,
+                         int threads) {
     const HistoryStore& se = ctx.store_e;
     const HistoryStore& si = ctx.store_i;
 
-    // Inverted index bin -> right entities, CSR over the shared
+    // Inverted index bin -> shard right entities, CSR over the shared
     // vocabulary. Right entities are visited in index order, so every
     // posting list is ascending.
     std::vector<uint64_t> bin_offsets(ctx.vocab.size() + 1, 0);
-    for (const BinId b : si.bin_ids()) ++bin_offsets[b + 1];
+    for (EntityIdx v = right_begin; v < right_end; ++v) {
+      for (const BinId b : si.bins(v)) ++bin_offsets[b + 1];
+    }
     for (size_t b = 1; b < bin_offsets.size(); ++b) {
       bin_offsets[b] += bin_offsets[b - 1];
     }
-    std::vector<EntityIdx> postings(si.bin_ids().size());
+    std::vector<EntityIdx> postings(bin_offsets.back());
     {
       std::vector<uint64_t> cursor = bin_offsets;
-      for (EntityIdx v = 0; v < si.size(); ++v) {
+      for (EntityIdx v = right_begin; v < right_end; ++v) {
         for (const BinId b : si.bins(v)) postings[cursor[b]++] = v;
       }
     }
@@ -120,8 +164,11 @@ class GridBlockingCandidates final : public CandidateGenerator {
           for (size_t k = begin; k < end; ++k) {
             auto& list = lists[k];
             for (const BinId b : se.bins(static_cast<EntityIdx>(k))) {
+              // The hotspot stop-word counts holders in the FULL right
+              // store, so shard builds skip exactly the bins the
+              // monolithic build skips.
+              if (cap > 0 && si.bin_entity_count(b) > cap) continue;
               const uint64_t lo = bin_offsets[b], hi = bin_offsets[b + 1];
-              if (cap > 0 && hi - lo > cap) continue;  // hotspot stop-word
               list.insert(list.end(), postings.begin() + lo,
                           postings.begin() + hi);
             }
@@ -169,14 +216,29 @@ std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
     CandidateKind kind, const LinkageContext& context,
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
     int threads) {
+  // A monolithic build IS the one-shard build over the full right store.
+  return MakeShardCandidateGenerator(
+      kind, context, lsh_config, grid_config, 0,
+      static_cast<EntityIdx>(context.store_i.size()), threads);
+}
+
+std::unique_ptr<CandidateGenerator> MakeShardCandidateGenerator(
+    CandidateKind kind, const LinkageContext& context,
+    const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
+    EntityIdx right_begin, EntityIdx right_end, int threads) {
+  SLIM_CHECK_MSG(right_begin <= right_end &&
+                     right_end <= context.store_i.size(),
+                 "shard range out of bounds");
   switch (kind) {
     case CandidateKind::kLsh:
-      return std::make_unique<LshCandidates>(context, lsh_config, threads);
+      return std::make_unique<LshCandidates>(context, lsh_config, right_begin,
+                                             right_end, threads);
     case CandidateKind::kBruteForce:
-      return std::make_unique<BruteForceCandidates>(context);
+      return std::make_unique<BruteForceCandidates>(context.store_e.size(),
+                                                    right_begin, right_end);
     case CandidateKind::kGrid:
-      return std::make_unique<GridBlockingCandidates>(context, grid_config,
-                                                      threads);
+      return std::make_unique<GridBlockingCandidates>(
+          context, grid_config, right_begin, right_end, threads);
   }
   SLIM_CHECK_MSG(false, "unreachable candidate kind");
   return nullptr;

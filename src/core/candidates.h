@@ -78,6 +78,20 @@ std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
     int threads = 0);
 
+/// Builds a candidate index restricted to the right-side shard
+/// [right_begin, right_end): CandidatesFor(u) returns exactly the full
+/// generator's list for u intersected with the shard range, as ascending
+/// *global* right EntityIdx values. Every dataset-level statistic a
+/// generator consults (the LSH query grid, the grid-blocking hotspot cap)
+/// is taken from the full context, so the union over a shard partition of
+/// these indices reproduces the monolithic candidate set bit for bit —
+/// the contract the sharded driver (core/sharded.h) and its goldens pin.
+/// Peak memory scales with the shard size, not the right store.
+std::unique_ptr<CandidateGenerator> MakeShardCandidateGenerator(
+    CandidateKind kind, const LinkageContext& context,
+    const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
+    EntityIdx right_begin, EntityIdx right_end, int threads = 0);
+
 }  // namespace slim
 
 #endif  // SLIM_CORE_CANDIDATES_H_

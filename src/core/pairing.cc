@@ -20,7 +20,9 @@ std::vector<BinPair> GreedyDisjointPairs(const std::vector<double>& dist,
   std::vector<size_t> order(m * n);
   for (size_t k = 0; k < order.size(); ++k) order[k] = k;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (dist[a] != dist[b]) return nearest ? dist[a] < dist[b] : dist[a] > dist[b];
+    if (dist[a] != dist[b]) {
+      return nearest ? dist[a] < dist[b] : dist[a] > dist[b];
+    }
     return a < b;
   });
 

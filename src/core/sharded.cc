@@ -1,0 +1,266 @@
+#include "core/sharded.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/resource.h"
+#include "core/candidates.h"
+#include "core/similarity.h"
+
+namespace slim {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// How much bigger than the shard's resident store bytes the block working
+// set (candidate CSR, postings/buckets, per-block edges) is assumed to be.
+// Chosen from the measured bench_sharded curves; deliberately conservative
+// so a budget is an upper bound, not a target.
+constexpr uint64_t kBlockExpansionFactor = 4;
+
+// Structural floor below which no per-entity estimate may fall: one
+// candidate-list entry plus one edge per entity is the bare minimum any
+// block holds.
+constexpr uint64_t kPerEntityFloorBytes = 64;
+
+}  // namespace
+
+ShardPlan ShardPlan::Fixed(size_t rights, int shards) {
+  ShardPlan plan;
+  plan.shards = std::max(1, shards);
+  if (rights > 0) {
+    plan.shards = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(plan.shards), rights));
+  } else {
+    plan.shards = 1;
+  }
+  // Balanced contiguous ranges: the first (rights % K) shards take one
+  // extra entity, so sizes differ by at most one.
+  const size_t k = static_cast<size_t>(plan.shards);
+  const size_t base = rights / k;
+  const size_t extra = rights % k;
+  EntityIdx begin = 0;
+  for (size_t s = 0; s < k; ++s) {
+    const EntityIdx end =
+        begin + static_cast<EntityIdx>(base + (s < extra ? 1 : 0));
+    plan.ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  SLIM_CHECK(plan.ranges.back().second == rights);
+  return plan;
+}
+
+uint64_t EstimateBlockBytesPerEntity(const LinkageContext& context,
+                                     uint64_t rss_before_context) {
+  const HistoryStore& si = context.store_i;
+  const size_t rights = si.size();
+  if (rights == 0) return kPerEntityFloorBytes;
+
+  // Structural floor: the right store's own CSR bytes per entity — bin ids,
+  // counts, windows, window->bin map — which the block's postings and
+  // candidate lists mirror at least once.
+  const uint64_t store_bytes =
+      si.bin_ids().size() * (sizeof(BinId) + sizeof(uint32_t) * 2) +
+      si.entity_ids().size() *
+          (sizeof(EntityId) + sizeof(uint32_t) * 2 + sizeof(uint64_t));
+  uint64_t per_entity = store_bytes / rights;
+
+  // RSS calibration: the context build's measured growth per entity (both
+  // sides) captures allocator overhead and the tree structures the
+  // structural count misses. Peak RSS is monotone, so the difference is a
+  // true lower bound on what the build added.
+  const uint64_t rss_now = CurrentPeakRssBytes();
+  const size_t entities = context.store_e.size() + rights;
+  if (rss_now > rss_before_context && entities > 0) {
+    per_entity = std::max(per_entity,
+                          (rss_now - rss_before_context) / entities);
+  }
+  return std::max(per_entity * kBlockExpansionFactor, kPerEntityFloorBytes);
+}
+
+ShardPlan EstimateShardPlan(const LinkageContext& context,
+                            const SlimConfig& config,
+                            uint64_t rss_before_context) {
+  const size_t rights = context.store_i.size();
+  if (config.shards > 0) return ShardPlan::Fixed(rights, config.shards);
+  if (config.shard_memory_budget_bytes == 0 || rights == 0) {
+    return ShardPlan::Fixed(rights, 1);
+  }
+  const uint64_t per_entity =
+      EstimateBlockBytesPerEntity(context, rss_before_context);
+  const uint64_t budget = config.shard_memory_budget_bytes;
+  // Smallest K with ceil(rights / K) * per_entity <= budget: at most
+  // floor(budget / per_entity) entities fit one shard, so K must cover
+  // `rights` in chunks of that size (one entity per shard when even a
+  // single entity exceeds the budget — sharding cannot go finer).
+  const uint64_t entities_per_shard = budget / per_entity;
+  const uint64_t shards =
+      entities_per_shard == 0
+          ? rights
+          : (rights + entities_per_shard - 1) / entities_per_shard;
+  ShardPlan plan = ShardPlan::Fixed(
+      rights, static_cast<int>(std::min<uint64_t>(
+                  shards == 0 ? 1 : shards,
+                  static_cast<uint64_t>(std::numeric_limits<int>::max()))));
+  plan.per_entity_bytes = per_entity;
+  return plan;
+}
+
+EdgeSpill::EdgeSpill(bool to_disk) {
+  if (to_disk) file_ = std::tmpfile();  // nullptr -> in-memory fallback
+}
+
+EdgeSpill::~EdgeSpill() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void EdgeSpill::Append(std::vector<WeightedEdge> edges) {
+  count_ += edges.size();
+  if (file_ != nullptr) {
+    if (!edges.empty() &&
+        std::fwrite(edges.data(), sizeof(WeightedEdge), edges.size(),
+                    file_) != edges.size()) {
+      // Spill device full: fall back to memory for everything written so
+      // far plus this block — correctness over the memory bound.
+      std::rewind(file_);
+      const uint64_t written = count_ - edges.size();
+      memory_.resize(static_cast<size_t>(written));
+      SLIM_CHECK_MSG(written == 0 ||
+                         std::fread(memory_.data(), sizeof(WeightedEdge),
+                                    memory_.size(),
+                                    file_) == memory_.size(),
+                     "edge spill readback failed");
+      std::fclose(file_);
+      file_ = nullptr;
+      memory_.insert(memory_.end(), edges.begin(), edges.end());
+    }
+    return;
+  }
+  memory_.insert(memory_.end(), edges.begin(), edges.end());
+}
+
+std::vector<WeightedEdge> EdgeSpill::TakeAll() {
+  std::vector<WeightedEdge> all;
+  if (file_ != nullptr) {
+    std::rewind(file_);
+    all.resize(static_cast<size_t>(count_));
+    SLIM_CHECK_MSG(count_ == 0 ||
+                       std::fread(all.data(), sizeof(WeightedEdge),
+                                  all.size(), file_) == all.size(),
+                   "edge spill readback failed");
+    std::fclose(file_);
+    file_ = nullptr;
+  } else {
+    all = std::move(memory_);
+    memory_.clear();
+  }
+  count_ = 0;
+  return all;
+}
+
+Result<LinkageResult> SlimLinker::LinkSharded(
+    const LocationDataset& dataset_e, const LocationDataset& dataset_i) const {
+  if (!dataset_e.finalized() || !dataset_i.finalized()) {
+    return Status::FailedPrecondition("datasets must be finalized");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  LinkageResult result;
+  result.candidates_used = config_.candidates;
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  const uint64_t rss_before_context = CurrentPeakRssBytes();
+
+  // 1. The global context — identical to the monolithic path: IDF, length
+  //    norms, the bin vocabulary, and the LSH query grid are dataset-level
+  //    statistics, so they must see both full datasets whatever K is.
+  auto t0 = std::chrono::steady_clock::now();
+  const LinkageContext ctx =
+      LinkageContext::Build(dataset_e, dataset_i, config_.history, threads);
+  result.seconds_histories = SecondsSince(t0);
+  result.rss_peak_histories = CurrentPeakRssBytes();
+  result.possible_pairs = static_cast<uint64_t>(ctx.store_e.size()) *
+                          static_cast<uint64_t>(ctx.store_i.size());
+  if (ctx.store_e.size() == 0 || ctx.store_i.size() == 0) {
+    result.seconds_total = SecondsSince(t_start);
+    result.rss_peak_total = CurrentPeakRssBytes();
+    return result;
+  }
+
+  const ShardPlan plan = EstimateShardPlan(ctx, config_, rss_before_context);
+  result.shards_used = plan.shards;
+
+  // 2/3. Candidates + scoring, one right shard at a time. The shard's
+  //      candidate index lives only for its own block; edges leave through
+  //      the spill so at any instant the process holds one shard's index
+  //      plus one scoring pass's edges. Spilling is pointless at K == 1
+  //      (the merge would reload everything immediately).
+  const SimilarityEngine engine(ctx, config_.similarity);
+  const size_t lefts = ctx.store_e.size();
+  EdgeSpill spill(/*to_disk=*/plan.shards > 1);
+
+  for (const auto& [right_begin, right_end] : plan.ranges) {
+    t0 = std::chrono::steady_clock::now();
+    const std::unique_ptr<CandidateGenerator> generator =
+        MakeShardCandidateGenerator(config_.candidates, ctx, config_.lsh,
+                                    config_.grid, right_begin, right_end,
+                                    threads);
+    result.candidate_pairs += generator->total_candidate_pairs();
+    result.seconds_lsh += SecondsSince(t0);
+    result.rss_peak_lsh = CurrentPeakRssBytes();
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<WeightedEdge>> block_edges(
+        static_cast<size_t>(threads));
+    std::vector<SimilarityStats> block_stats(static_cast<size_t>(threads));
+    ParallelFor(
+        lefts,
+        [&](size_t begin, size_t end, int shard) {
+          auto& edges = block_edges[static_cast<size_t>(shard)];
+          auto& stats = block_stats[static_cast<size_t>(shard)];
+          CellDistanceCache cache;
+          for (size_t k = begin; k < end; ++k) {
+            const EntityIdx u_idx = static_cast<EntityIdx>(k);
+            const EntityId u = ctx.store_e.entity_id(u_idx);
+            for (const EntityIdx v_idx : generator->CandidatesFor(u_idx)) {
+              const double s =
+                  engine.ScoreIndexed(u_idx, v_idx, &stats, &cache);
+              if (s > 0.0) {
+                edges.push_back({u, ctx.store_i.entity_id(v_idx), s});
+              }
+            }
+          }
+          stats.cache_hits += cache.hits();
+          stats.cache_misses += cache.misses();
+        },
+        threads);
+    // Blocks leave in (shard, thread-shard) order — any order works, the
+    // merge re-sorts — and their scratch dies here.
+    for (int shard = 0; shard < threads; ++shard) {
+      result.stats += block_stats[static_cast<size_t>(shard)];
+      spill.Append(std::move(block_edges[static_cast<size_t>(shard)]));
+    }
+    result.seconds_scoring += SecondsSince(t0);
+    result.rss_peak_scoring = CurrentPeakRssBytes();
+  }
+
+  result.spilled_edges = spill.size();
+  result.spill_on_disk = spill.on_disk();
+
+  // 4/5. Deterministic merge into the shared matching + threshold tail:
+  // SealLinkage fixes the canonical (u, v) order, so the shard partition
+  // leaves no trace in the output.
+  internal::SealLinkage(config_, spill.TakeAll(), &result);
+
+  result.seconds_total = SecondsSince(t_start);
+  result.rss_peak_total = CurrentPeakRssBytes();
+  return result;
+}
+
+}  // namespace slim

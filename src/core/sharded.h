@@ -1,0 +1,120 @@
+// Sharded, memory-bounded linkage driver (SlimLinker::LinkSharded).
+//
+// The monolithic pipeline (core/slim.h) materialises one candidate index
+// and the full edge set for the whole right store — fine at the 10k scale,
+// but the candidate + scoring working set is what caps how far one run can
+// go. This driver partitions the right side into K contiguous EntityIdx
+// shards over the dense store and runs
+//
+//   context (global)  — vocabulary, CSR stores, IDF: built once over BOTH
+//                       full datasets, exactly as the monolithic path does,
+//                       because every score reads dataset-level statistics.
+//   per shard         — a shard-restricted candidate index
+//                       (MakeShardCandidateGenerator) and the scoring of
+//                       every (left, shard) block on the shared ThreadPool;
+//                       the block's positive edges are appended to an edge
+//                       spill and the shard's index is dropped before the
+//                       next shard builds.
+//   merge (global)    — the spilled edges are read back, put into the
+//                       canonical (u, v) order, and handed to the same
+//                       matching + GMM-threshold tail the monolithic driver
+//                       runs (internal::SealLinkage).
+//
+// Because shard candidate sets are exact restrictions of the monolithic
+// candidate set (the LSH query grid and the grid-blocking hotspot cap are
+// taken from the full context — see core/candidates.h) and the merge fixes
+// the same canonical edge order, the links are bit-identical to Link() at
+// every shard count and thread count; tests/test_sharded.cc pins this
+// against the committed goldens. Peak RSS of the candidate + scoring stages
+// scales with the largest shard, not the right store — bench_sharded
+// measures the curve.
+//
+// K comes from SlimConfig::shards, or — when that is 0 — from
+// SlimConfig::shard_memory_budget_bytes via EstimateShardPlan's
+// CurrentPeakRssBytes-calibrated per-entity estimate.
+#ifndef SLIM_CORE_SHARDED_H_
+#define SLIM_CORE_SHARDED_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "core/slim.h"
+
+namespace slim {
+
+/// How the right side splits into contiguous EntityIdx shards.
+struct ShardPlan {
+  /// Number of shards K (>= 1; at most the right-store size when that is
+  /// non-zero).
+  int shards = 1;
+  /// [begin, end) dense right EntityIdx range per shard, in order. Ranges
+  /// are contiguous, disjoint, cover [0, rights), and differ in size by at
+  /// most one entity.
+  std::vector<std::pair<EntityIdx, EntityIdx>> ranges;
+  /// The per-right-entity working-set estimate behind a budget-derived
+  /// plan, in bytes (0 when the shard count was given explicitly).
+  uint64_t per_entity_bytes = 0;
+
+  /// Balanced plan with an explicit shard count (clamped to [1, rights];
+  /// rights == 0 yields one empty shard).
+  static ShardPlan Fixed(size_t rights, int shards);
+};
+
+/// Per-right-entity working-set estimate (bytes) for one shard's candidate
+/// + scoring block, calibrated against the measured process footprint:
+/// `rss_before_context` is CurrentPeakRssBytes() sampled before the context
+/// build, so the growth since then — the resident cost of the dense stores
+/// themselves — anchors the estimate, with a structural floor computed from
+/// the actual CSR sizes. The candidate index, postings/buckets, and edge
+/// output of a block are a small multiple of the shard's store bytes; the
+/// multiplier is deliberately conservative (docs/BENCHMARKS.md, "Memory
+/// budget methodology"). Only shard-count selection consumes this — links
+/// never depend on it.
+uint64_t EstimateBlockBytesPerEntity(const LinkageContext& context,
+                                     uint64_t rss_before_context);
+
+/// The plan LinkSharded executes: config.shards when positive, else the
+/// smallest K whose estimated per-block working set
+/// (per_entity_bytes * shard size) fits config.shard_memory_budget_bytes,
+/// else one shard.
+ShardPlan EstimateShardPlan(const LinkageContext& context,
+                            const SlimConfig& config,
+                            uint64_t rss_before_context);
+
+/// Bounded-memory edge accumulation across (left, shard) blocks. Blocks
+/// append in deterministic block order; TakeAll() returns every edge in
+/// append order. When `to_disk` is set the edges stream through an
+/// anonymous temporary file (std::tmpfile) so the scoring phase holds only
+/// the current block's edges in memory; if no tmpfile can be created the
+/// spill degrades to an in-memory buffer (on_disk() says which happened).
+class EdgeSpill {
+ public:
+  explicit EdgeSpill(bool to_disk);
+  ~EdgeSpill();
+
+  EdgeSpill(const EdgeSpill&) = delete;
+  EdgeSpill& operator=(const EdgeSpill&) = delete;
+
+  /// Appends one block's edges (consumed). Not thread-safe — blocks
+  /// append from the driver thread in block order.
+  void Append(std::vector<WeightedEdge> edges);
+
+  /// Edges appended so far.
+  uint64_t size() const { return count_; }
+  /// Whether edges actually reside in a temporary file.
+  bool on_disk() const { return file_ != nullptr; }
+
+  /// Reads every spilled edge back, in append order, and resets the spill.
+  std::vector<WeightedEdge> TakeAll();
+
+ private:
+  std::FILE* file_ = nullptr;       // nullptr -> in-memory fallback
+  std::vector<WeightedEdge> memory_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_CORE_SHARDED_H_

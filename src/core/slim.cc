@@ -94,68 +94,76 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
       },
       threads);
 
-  // Sharded edge lists merge in shard order; the sort below then fixes one
+  // Sharded edge lists merge in shard order; SealLinkage then fixes one
   // canonical edge order whatever the thread count was.
   size_t total_edges = 0;
   for (const auto& edges : shard_edges) total_edges += edges.size();
-  result.graph.Reserve(total_edges);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(total_edges);
   for (int shard = 0; shard < threads; ++shard) {
     result.stats += shard_stats[static_cast<size_t>(shard)];
-    for (const auto& e : shard_edges[static_cast<size_t>(shard)]) {
-      result.graph.AddEdge(e.u, e.v, e.weight);
-    }
-  }
-  // Deterministic edge order regardless of thread count.
-  {
-    std::vector<WeightedEdge> edges = result.graph.edges();
-    std::sort(edges.begin(), edges.end(),
-              [](const WeightedEdge& a, const WeightedEdge& b) {
-                if (a.u != b.u) return a.u < b.u;
-                return a.v < b.v;
-              });
-    result.graph = BipartiteGraph(std::move(edges));
+    const auto& shard_list = shard_edges[static_cast<size_t>(shard)];
+    edges.insert(edges.end(), shard_list.begin(), shard_list.end());
   }
   result.seconds_scoring = SecondsSince(t0);
   result.rss_peak_scoring = CurrentPeakRssBytes();
 
-  // 4. Maximum-sum bipartite matching (LinkPairs of Alg. 1).
-  t0 = std::chrono::steady_clock::now();
-  result.matching = config_.matcher == MatcherKind::kHungarian
-                        ? HungarianMaxWeightMatching(result.graph)
-                        : GreedyMaxWeightMatching(result.graph);
-  result.seconds_matching = SecondsSince(t0);
-  result.rss_peak_matching = CurrentPeakRssBytes();
-
-  // 5. Automated stop threshold over the matched edge weights.
-  std::vector<double> weights;
-  weights.reserve(result.matching.pairs.size());
-  for (const auto& e : result.matching.pairs) weights.push_back(e.weight);
-
-  double cutoff = -std::numeric_limits<double>::infinity();
-  if (config_.apply_stop_threshold) {
-    auto decision =
-        DetectStopThreshold(weights, config_.threshold_method);
-    if (decision.ok()) {
-      result.threshold = std::move(decision.value());
-      result.threshold_valid = true;
-      cutoff = result.threshold.threshold;
-    }
-    // On detector failure (too few / degenerate weights) every matched pair
-    // is kept — the caller can inspect threshold_valid.
-  }
-
-  for (const auto& e : result.matching.pairs) {
-    if (e.weight > cutoff) result.links.push_back({e.u, e.v, e.weight});
-  }
-  std::sort(result.links.begin(), result.links.end(),
-            [](const LinkedEntityPair& a, const LinkedEntityPair& b) {
-              if (a.u != b.u) return a.u < b.u;
-              return a.v < b.v;
-            });
+  // 4/5. Matching + stop threshold — shared with the sharded driver.
+  internal::SealLinkage(config_, std::move(edges), &result);
 
   result.seconds_total = SecondsSince(t_start);
   result.rss_peak_total = CurrentPeakRssBytes();
   return result;
 }
+
+namespace internal {
+
+void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
+                 LinkageResult* result) {
+  // Deterministic edge order regardless of thread/shard count. Each (u, v)
+  // pair is scored exactly once, so (u, v) is a total order over the edges.
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  result->graph = BipartiteGraph(std::move(edges));
+
+  // Maximum-sum bipartite matching (LinkPairs of Alg. 1).
+  const auto t0 = std::chrono::steady_clock::now();
+  result->matching = config.matcher == MatcherKind::kHungarian
+                         ? HungarianMaxWeightMatching(result->graph)
+                         : GreedyMaxWeightMatching(result->graph);
+  result->seconds_matching = SecondsSince(t0);
+  result->rss_peak_matching = CurrentPeakRssBytes();
+
+  // Automated stop threshold over the matched edge weights.
+  std::vector<double> weights;
+  weights.reserve(result->matching.pairs.size());
+  for (const auto& e : result->matching.pairs) weights.push_back(e.weight);
+
+  double cutoff = -std::numeric_limits<double>::infinity();
+  if (config.apply_stop_threshold) {
+    auto decision = DetectStopThreshold(weights, config.threshold_method);
+    if (decision.ok()) {
+      result->threshold = std::move(decision.value());
+      result->threshold_valid = true;
+      cutoff = result->threshold.threshold;
+    }
+    // On detector failure (too few / degenerate weights) every matched pair
+    // is kept — the caller can inspect threshold_valid.
+  }
+
+  for (const auto& e : result->matching.pairs) {
+    if (e.weight > cutoff) result->links.push_back({e.u, e.v, e.weight});
+  }
+  std::sort(result->links.begin(), result->links.end(),
+            [](const LinkedEntityPair& a, const LinkedEntityPair& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+}
+
+}  // namespace internal
 
 }  // namespace slim

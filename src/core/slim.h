@@ -71,6 +71,19 @@ struct SlimConfig {
   /// threads — see common/parallel.h). Results are identical at every
   /// thread count.
   int threads = 0;
+
+  /// Right-side shard count for LinkSharded (core/sharded.h). 0 derives the
+  /// count from shard_memory_budget_bytes (1 when no budget is set either);
+  /// K >= 1 forces K contiguous EntityIdx shards. Links are bit-identical
+  /// at every shard count.
+  int shards = 0;
+
+  /// Approximate peak-memory budget for the candidate + scoring block of
+  /// one shard, in bytes. Only consulted when shards == 0: the driver
+  /// derives the smallest shard count whose estimated per-block working set
+  /// fits the budget (see EstimateShardPlan in core/sharded.h for the
+  /// CurrentPeakRssBytes-calibrated estimate). 0 means unbounded.
+  uint64_t shard_memory_budget_bytes = 0;
 };
 
 /// One linked entity pair (u from E, v from I) and its similarity score.
@@ -125,6 +138,15 @@ struct LinkageResult {
   uint64_t rss_peak_scoring = 0;
   uint64_t rss_peak_matching = 0;
   uint64_t rss_peak_total = 0;
+
+  /// Sharded-driver provenance (LinkSharded; 1 / 0 / false on the
+  /// monolithic path). spilled_edges counts edges that passed through the
+  /// per-block spill before the merge; spill_on_disk says whether the spill
+  /// actually reached a temporary file (it degrades to memory when no
+  /// tmpfile is available).
+  int shards_used = 1;
+  uint64_t spilled_edges = 0;
+  bool spill_on_disk = false;
 };
 
 /// The SLIM linkage algorithm (Alg. 1). Construct once per configuration and
@@ -141,9 +163,32 @@ class SlimLinker {
   Result<LinkageResult> Link(const LocationDataset& dataset_e,
                              const LocationDataset& dataset_i) const;
 
+  /// The sharded, memory-bounded driver (core/sharded.h): candidates and
+  /// scoring run per contiguous right-side shard — config().shards of them,
+  /// or as many as config().shard_memory_budget_bytes demands — with
+  /// per-block edge spill, then one global matching + threshold pass.
+  /// Links, matching, graph, and stats sums are bit-identical to Link() at
+  /// every shard count and thread count; peak memory of the candidate +
+  /// scoring stages scales with the largest shard instead of the full
+  /// right store. Implemented in core/sharded.cc.
+  Result<LinkageResult> LinkSharded(const LocationDataset& dataset_e,
+                                    const LocationDataset& dataset_i) const;
+
  private:
   SlimConfig config_;
 };
+
+namespace internal {
+
+/// Shared pipeline tail used by both drivers so they cannot drift: fixes
+/// the canonical (u, v) edge order, builds the scored graph, runs the
+/// matching, detects the stop threshold, and emits the final links into
+/// `result` (also filling seconds_matching / rss_peak_matching). `edges`
+/// may arrive in any order; equal results in, equal results out.
+void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
+                 LinkageResult* result);
+
+}  // namespace internal
 
 }  // namespace slim
 

@@ -38,7 +38,8 @@ LocationDataset GenerateCabDataset(const CabGeneratorOptions& opt) {
   SLIM_CHECK_MSG(opt.duration_days > 0, "duration_days must be positive");
   SLIM_CHECK_MSG(opt.record_interval_seconds > 0,
                  "record_interval_seconds must be positive");
-  SLIM_CHECK_MSG(opt.min_speed_kmh > 0 && opt.max_speed_kmh >= opt.min_speed_kmh,
+  SLIM_CHECK_MSG(
+      opt.min_speed_kmh > 0 && opt.max_speed_kmh >= opt.min_speed_kmh,
                  "speed range invalid");
 
   Rng master_rng(opt.seed);

@@ -117,7 +117,9 @@ Result<LocationDataset> ParseCsv(std::string_view content,
     const std::string_view line =
         StripAsciiWhitespace(data.substr(pos, eol - pos));
     if (!line.empty()) {
-      if (line.rfind("entity_id", 0) == 0) start = std::min(eol + 1, data.size());
+      if (line.rfind("entity_id", 0) == 0) {
+        start = std::min(eol + 1, data.size());
+      }
       break;
     }
     pos = eol + 1;

@@ -38,7 +38,8 @@ void LocationDataset::Finalize() {
   index_.clear();
   size_t start = 0;
   for (size_t i = 0; i <= records_.size(); ++i) {
-    if (i == records_.size() || (i > 0 && records_[i].entity != records_[i - 1].entity)) {
+    if (i == records_.size() ||
+        (i > 0 && records_[i].entity != records_[i - 1].entity)) {
       if (i > start) {
         entity_ids_.push_back(records_[start].entity);
         index_[records_[start].entity] = {start, i};

@@ -70,12 +70,14 @@ Result<LinkedPairSample> SampleLinkedPair(const LocationDataset& master,
     // Largest n with 2n - round(rho*n) <= |pool|.
     n = pool.size();
     while (n > 0) {
-      const size_t c = static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
+      const size_t c =
+          static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
       if (2 * n - c <= pool.size()) break;
       --n;
     }
   }
-  const size_t c = static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
+  const size_t c =
+      static_cast<size_t>(std::llround(rho * static_cast<double>(n)));
   if (n == 0 || 2 * n - c > pool.size()) {
     return Status::InvalidArgument(StrFormat(
         "master has %zu entities; cannot draw two sides of %zu with %zu "

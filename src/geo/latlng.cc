@@ -40,7 +40,8 @@ double HaversineMeters(const LatLng& a, const LatLng& b) {
   const double sin_dlat = std::sin(dlat / 2.0);
   const double sin_dlng = std::sin(dlng / 2.0);
   const double h =
-      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
+      sin_dlat * sin_dlat +
+      std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
   return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
 }
 

@@ -61,7 +61,8 @@ const uint32_t* LshIndex::FindPosition(const PositionIndex& index,
 
 LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
                          const std::vector<Entry>& side_i,
-                         const LshConfig& config, int threads) {
+                         const LshConfig& config, int threads,
+                         const LshWindowSpan* fixed_span) {
   SLIM_CHECK_MSG(config.num_buckets >= 1, "num_buckets must be >= 1");
   LshIndex index;
   index.candidates_.resize(side_e.size());
@@ -70,19 +71,24 @@ LshIndex LshIndex::Build(const std::vector<Entry>& side_e,
   index.right_entities_.reserve(side_i.size());
   for (const Entry& e : side_i) index.right_entities_.push_back(e.entity);
 
-  // Global query grid over the union of occupied windows.
+  // Query grid: the caller-pinned span, else the union of occupied windows.
   int64_t w_lo = std::numeric_limits<int64_t>::max();
   int64_t w_hi = std::numeric_limits<int64_t>::min();
-  auto widen = [&](const std::vector<Entry>& side) {
-    for (const Entry& e : side) {
-      SLIM_CHECK(e.tree != nullptr);
-      if (e.tree->empty()) continue;
-      w_lo = std::min(w_lo, e.tree->min_window());
-      w_hi = std::max(w_hi, e.tree->max_window());
-    }
-  };
-  widen(side_e);
-  widen(side_i);
+  if (fixed_span != nullptr) {
+    w_lo = fixed_span->lo;
+    w_hi = fixed_span->end - 1;
+  } else {
+    auto widen = [&](const std::vector<Entry>& side) {
+      for (const Entry& e : side) {
+        SLIM_CHECK(e.tree != nullptr);
+        if (e.tree->empty()) continue;
+        w_lo = std::min(w_lo, e.tree->min_window());
+        w_hi = std::max(w_hi, e.tree->max_window());
+      }
+    };
+    widen(side_e);
+    widen(side_i);
+  }
   if (w_lo > w_hi) {
     // Nothing occupied anywhere: empty signatures, no candidates.
     index.left_signatures_.resize(side_e.size());

@@ -23,6 +23,18 @@
 
 namespace slim {
 
+/// A fixed [lo, end) leaf-window range for the signature query grid.
+/// Candidate collisions are a pairwise predicate over band hashes, so an
+/// index built over a *subset* of one side under the same span produces
+/// exactly the full index's candidates restricted to that subset — the
+/// property the sharded linkage driver (core/sharded.h) relies on.
+struct LshWindowSpan {
+  int64_t lo = 0;
+  int64_t end = 0;  // exclusive
+
+  bool empty() const { return lo >= end; }
+};
+
 /// Candidate-pair index between two sides (dataset E = left, I = right).
 class LshIndex {
  public:
@@ -34,9 +46,15 @@ class LshIndex {
     const WindowSegmentTree* tree = nullptr;
   };
 
-  /// Builds the index. The global query grid spans the union of both
-  /// sides' occupied window ranges, so signature positions align across
-  /// every history. Empty sides are allowed.
+  /// Builds the index. The query grid spans the union of both sides'
+  /// occupied window ranges, so signature positions align across every
+  /// history. Empty sides are allowed.
+  ///
+  /// `fixed_span`, when non-null, pins the query grid to an externally
+  /// computed window range instead of the union of the two inputs. Sharded
+  /// builds pass the span of the *full* problem so that signatures — and
+  /// therefore band hashes and candidates — are identical to a monolithic
+  /// build whatever subset of a side they receive.
   ///
   /// Construction is data-parallel over `threads` workers (<= 0 means the
   /// library default; see common/parallel.h): signature computation shards
@@ -46,7 +64,8 @@ class LshIndex {
   /// every thread count.
   static LshIndex Build(const std::vector<Entry>& side_e,
                         const std::vector<Entry>& side_i,
-                        const LshConfig& config, int threads = 0);
+                        const LshConfig& config, int threads = 0,
+                        const LshWindowSpan* fixed_span = nullptr);
 
   /// Sorted, de-duplicated right-side candidates for left entity `u`,
   /// materialised as entity ids (empty when u collided with nothing or was

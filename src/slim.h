@@ -50,6 +50,7 @@
 #include "core/linkage_context.h"  // IWYU pragma: export
 #include "core/pairing.h"          // IWYU pragma: export
 #include "core/proximity.h"        // IWYU pragma: export
+#include "core/sharded.h"          // IWYU pragma: export
 #include "core/similarity.h"       // IWYU pragma: export
 #include "core/slim.h"        // IWYU pragma: export
 #include "core/threshold.h"   // IWYU pragma: export

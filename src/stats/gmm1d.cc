@@ -51,7 +51,8 @@ Result<GaussianMixture1D> FitGmm1D(const std::vector<double>& values,
   const int k = options.num_components;
   if (k < 1) return Status::InvalidArgument("num_components must be >= 1");
   if (values.size() < static_cast<size_t>(k)) {
-    return Status::InvalidArgument("need at least K values to fit K components");
+    return Status::InvalidArgument(
+        "need at least K values to fit K components");
   }
 
   // Data variance for the floor.

@@ -58,7 +58,8 @@ std::string Histogram::ToAscii(int max_bar_width) const {
                                      static_cast<double>(peak) *
                                      max_bar_width);
     out += StrFormat("%12.2f | %-*s %llu\n", BinLow(static_cast<int>(b)),
-                     max_bar_width, std::string(static_cast<size_t>(bar), '#').c_str(),
+                     max_bar_width,
+                     std::string(static_cast<size_t>(bar), '#').c_str(),
                      static_cast<unsigned long long>(counts_[b]));
   }
   return out;

@@ -35,7 +35,8 @@ KMeans1DResult KMeans1D(const std::vector<double>& values, int k,
       int best = 0;
       double best_d = std::numeric_limits<double>::infinity();
       for (int c = 0; c < k; ++c) {
-        const double d = std::abs(values[i] - res.centers[static_cast<size_t>(c)]);
+        const double d =
+            std::abs(values[i] - res.centers[static_cast<size_t>(c)]);
         if (d < best_d) {
           best_d = d;
           best = c;

@@ -176,7 +176,9 @@ TEST(GridBlockingCandidatesTest, HotspotCapDropsCrowdedBins) {
   // blocking and only exact co-visitors remain.
   Rng rng(7);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 8; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 8; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 6, kWindow);
   LocationDataset crowded("crowded");

@@ -95,8 +95,12 @@ TEST(Determinism, LshIndexIsIdenticalAtEveryThreadCount) {
   const HistorySet set_e = HistorySet::Build(Sample().a, hconfig, 1);
   const HistorySet set_i = HistorySet::Build(Sample().b, hconfig, 1);
   std::vector<LshIndex::Entry> left, right;
-  for (const auto& h : set_e.histories()) left.push_back({h.entity(), &h.tree()});
-  for (const auto& h : set_i.histories()) right.push_back({h.entity(), &h.tree()});
+  for (const auto& h : set_e.histories()) {
+    left.push_back({h.entity(), &h.tree()});
+  }
+  for (const auto& h : set_i.histories()) {
+    right.push_back({h.entity(), &h.tree()});
+  }
 
   const SlimConfig defaults;  // the stock LSH operating point
   const LshIndex reference = LshIndex::Build(left, right, defaults.lsh, 1);
@@ -193,7 +197,8 @@ std::vector<std::string> ReadLines(const std::string& path) {
 // Formats links exactly as tests/golden/quick_links_*.csv were written:
 // u,v,score at 17 fixed decimals (locale-safe, enough digits that equal
 // strings mean bit-equal doubles for these magnitudes).
-std::vector<std::string> FormatLinks(const std::vector<LinkedEntityPair>& links) {
+std::vector<std::string> FormatLinks(
+    const std::vector<LinkedEntityPair>& links) {
   std::vector<std::string> lines;
   lines.reserve(links.size());
   for (const auto& link : links) {

@@ -131,7 +131,8 @@ TEST(CabGenerator, SpatialSkewFromHotspots) {
   size_t top = 0;
   for (const auto& [cell, c] : counts) top = std::max(top, c);
   const double uniform_share =
-      static_cast<double>(ds.num_records()) / static_cast<double>(counts.size());
+      static_cast<double>(ds.num_records()) /
+      static_cast<double>(counts.size());
   EXPECT_GT(static_cast<double>(top), 2.0 * uniform_share);
 }
 

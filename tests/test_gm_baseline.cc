@@ -63,7 +63,9 @@ TEST(GmBaseline, ScoresOwnFootprintHighest) {
 TEST(GmBaseline, ScoresAllCrossPairs) {
   Rng rng(2);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 4; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 4; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const auto e = BlobDataset("E", anchors, 20, 30);
   const auto i = BlobDataset("I", anchors, 20, 40);
   const GmLinker linker(FastConfig());
@@ -76,7 +78,9 @@ TEST(GmBaseline, ScoresAllCrossPairs) {
 TEST(GmBaseline, RecoversIdentityLinkageOnSeparatedEntities) {
   Rng rng(3);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 8; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 8; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const auto e = BlobDataset("E", anchors, 40, 50);
   const auto i = BlobDataset("I", anchors, 40, 60);
   const GmLinker linker(FastConfig());

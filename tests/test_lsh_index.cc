@@ -45,7 +45,9 @@ TEST(LshIndex, IdenticalBehaviourCollides) {
   // Entities with the same trajectory on both sides must be candidates.
   Rng rng(1);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 8; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 8; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 24, kWindow);
   const HistorySet set_e = HistorySet::Build(ds, HConfig());
@@ -81,7 +83,9 @@ TEST(LshIndex, DisjointPlacesRarelyCollide) {
 TEST(LshIndex, BandGeometryCoversSignature) {
   Rng rng(3);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 4; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 4; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 48, kWindow);
   const HistorySet set = HistorySet::Build(ds, HConfig());
@@ -97,7 +101,9 @@ TEST(LshIndex, BandGeometryCoversSignature) {
 TEST(LshIndex, SignaturesAccessibleAndAligned) {
   Rng rng(4);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 3; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 3; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 12, kWindow);
   const HistorySet set = HistorySet::Build(ds, HConfig());

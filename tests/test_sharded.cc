@@ -1,0 +1,384 @@
+// The sharded linkage driver's contract (core/sharded.h):
+//
+//   * LinkSharded is bit-identical to the monolithic Link at every shard
+//     count x thread count, for every candidate generator — including
+//     against the committed pre-refactor goldens (tests/golden/), pinned at
+//     shard counts {1, 2, 7} x threads {1, 8}.
+//   * Shard-restricted candidate generators are exact restrictions of the
+//     monolithic candidate set (the union over a partition reproduces it).
+//   * The shard planner covers [0, rights) with balanced contiguous
+//     ranges, honors explicit counts, and derives counts from the memory
+//     budget.
+//   * The edge spill round-trips blocks losslessly, on disk and in memory.
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/resource.h"
+#include "slim.h"
+
+namespace slim {
+namespace {
+
+// The same SM-style workload test_determinism shards over: big enough that
+// every parallel stage actually shards, and that 7 right shards are all
+// non-trivial.
+const LinkedPairSample& Sample() {
+  static const LinkedPairSample* sample = [] {
+    CheckinGeneratorOptions gen;
+    gen.num_users = 500;
+    gen.seed = 77;
+    const LocationDataset master = GenerateCheckinDataset(gen);
+    PairSampleOptions sampling;
+    sampling.entities_per_side = 220;
+    sampling.intersection_ratio = 0.5;
+    sampling.inclusion_probability = 0.5;
+    sampling.seed = 78;
+    auto s = SampleLinkedPair(master, sampling);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return new LinkedPairSample(std::move(s.value()));
+  }();
+  return *sample;
+}
+
+void ExpectIdenticalResults(const LinkageResult& a, const LinkageResult& b,
+                            const std::string& label) {
+  // Doubles compare exactly: bit-identical is the contract, not "close".
+  EXPECT_EQ(a.links, b.links) << label;
+  EXPECT_EQ(a.matching.pairs, b.matching.pairs) << label;
+  EXPECT_DOUBLE_EQ(a.matching.total_weight, b.matching.total_weight) << label;
+  EXPECT_EQ(a.graph.edges(), b.graph.edges()) << label;
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs) << label;
+  EXPECT_EQ(a.possible_pairs, b.possible_pairs) << label;
+  EXPECT_EQ(a.stats.record_comparisons, b.stats.record_comparisons) << label;
+  EXPECT_EQ(a.stats.alibi_pairs, b.stats.alibi_pairs) << label;
+  EXPECT_EQ(a.stats.entity_pairs, b.stats.entity_pairs) << label;
+  // The hit/miss split depends on sharding (each block warms its own
+  // cache); only the sum is invariant — same contract as thread counts.
+  EXPECT_EQ(a.stats.cache_hits + a.stats.cache_misses,
+            b.stats.cache_hits + b.stats.cache_misses)
+      << label;
+  EXPECT_EQ(a.threshold_valid, b.threshold_valid) << label;
+  if (a.threshold_valid && b.threshold_valid) {
+    EXPECT_DOUBLE_EQ(a.threshold.threshold, b.threshold.threshold) << label;
+  }
+}
+
+// ---- Shard planning. ----
+
+TEST(ShardPlan, FixedCoversBalancedContiguousRanges) {
+  const ShardPlan plan = ShardPlan::Fixed(23, 5);
+  ASSERT_EQ(plan.shards, 5);
+  ASSERT_EQ(plan.ranges.size(), 5u);
+  EntityIdx expected_begin = 0;
+  size_t min_size = 23, max_size = 0;
+  for (const auto& [begin, end] : plan.ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    ASSERT_LT(begin, end);
+    min_size = std::min<size_t>(min_size, end - begin);
+    max_size = std::max<size_t>(max_size, end - begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 23u);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ShardPlan, FixedClampsToTheRightStore) {
+  const ShardPlan plan = ShardPlan::Fixed(3, 100);
+  EXPECT_EQ(plan.shards, 3);
+  ASSERT_EQ(plan.ranges.size(), 3u);
+  EXPECT_EQ(plan.ranges.front(), (std::pair<EntityIdx, EntityIdx>{0, 1}));
+
+  const ShardPlan empty = ShardPlan::Fixed(0, 4);
+  EXPECT_EQ(empty.shards, 1);
+  ASSERT_EQ(empty.ranges.size(), 1u);
+  EXPECT_EQ(empty.ranges.front(), (std::pair<EntityIdx, EntityIdx>{0, 0}));
+
+  const ShardPlan nonpositive = ShardPlan::Fixed(9, 0);
+  EXPECT_EQ(nonpositive.shards, 1);
+}
+
+TEST(ShardPlan, BudgetDerivesTheShardCount) {
+  const LinkageContext ctx =
+      LinkageContext::Build(Sample().a, Sample().b, HistoryConfig{}, 1);
+  SlimConfig config;
+
+  // Explicit count wins over any budget.
+  config.shards = 3;
+  config.shard_memory_budget_bytes = 1;
+  EXPECT_EQ(EstimateShardPlan(ctx, config, 0).shards, 3);
+
+  // No count, no budget: one shard.
+  config.shards = 0;
+  config.shard_memory_budget_bytes = 0;
+  EXPECT_EQ(EstimateShardPlan(ctx, config, 0).shards, 1);
+
+  // A huge budget needs no sharding; a tiny one shards hard (clamped to
+  // the store size).
+  config.shard_memory_budget_bytes = uint64_t{1} << 40;
+  EXPECT_EQ(EstimateShardPlan(ctx, config, 0).shards, 1);
+  config.shard_memory_budget_bytes = 1;
+  const ShardPlan tight = EstimateShardPlan(ctx, config, 0);
+  EXPECT_EQ(tight.shards, static_cast<int>(ctx.store_i.size()));
+  EXPECT_GT(tight.per_entity_bytes, 0u);
+
+  // Monotone: a bigger budget never yields more shards.
+  config.shard_memory_budget_bytes = 1u << 20;
+  const int k_small_budget = EstimateShardPlan(ctx, config, 0).shards;
+  config.shard_memory_budget_bytes = 8u << 20;
+  EXPECT_LE(EstimateShardPlan(ctx, config, 0).shards, k_small_budget);
+}
+
+TEST(ShardPlan, PerEntityEstimateHasAFloor) {
+  const LinkageContext ctx =
+      LinkageContext::Build(Sample().a, Sample().b, HistoryConfig{}, 1);
+  EXPECT_GE(EstimateBlockBytesPerEntity(ctx, 0), 64u);
+  EXPECT_GE(EstimateBlockBytesPerEntity(ctx, CurrentPeakRssBytes()), 64u);
+}
+
+// ---- Edge spill. ----
+
+std::vector<WeightedEdge> MakeEdges(int base, int n) {
+  std::vector<WeightedEdge> edges;
+  for (int k = 0; k < n; ++k) {
+    edges.push_back({base + k, base - k, 0.5 + 0.001 * k});
+  }
+  return edges;
+}
+
+TEST(EdgeSpill, RoundTripsBlocksInAppendOrder) {
+  for (const bool to_disk : {false, true}) {
+    EdgeSpill spill(to_disk);
+    EXPECT_EQ(spill.size(), 0u);
+    spill.Append(MakeEdges(100, 3));
+    spill.Append({});  // empty blocks are legal
+    spill.Append(MakeEdges(7, 2));
+    EXPECT_EQ(spill.size(), 5u);
+
+    std::vector<WeightedEdge> expected = MakeEdges(100, 3);
+    const std::vector<WeightedEdge> tail = MakeEdges(7, 2);
+    expected.insert(expected.end(), tail.begin(), tail.end());
+    EXPECT_EQ(spill.TakeAll(), expected) << "to_disk=" << to_disk;
+    EXPECT_EQ(spill.size(), 0u);
+    EXPECT_EQ(spill.TakeAll(), std::vector<WeightedEdge>{});
+  }
+}
+
+TEST(EdgeSpill, DiskSpillActuallyUsesAFile) {
+  EdgeSpill spill(/*to_disk=*/true);
+  if (!spill.on_disk()) GTEST_SKIP() << "no tmpfile on this platform";
+  spill.Append(MakeEdges(1, 4));
+  EXPECT_TRUE(spill.on_disk());
+  EXPECT_EQ(spill.TakeAll(), MakeEdges(1, 4));
+}
+
+// ---- Shard-restricted candidate generation. ----
+
+class ShardCandidates : public ::testing::TestWithParam<CandidateKind> {};
+
+TEST_P(ShardCandidates, UnionOverAPartitionEqualsTheFullGenerator) {
+  const LinkageContext ctx =
+      LinkageContext::Build(Sample().a, Sample().b, HistoryConfig{}, 1);
+  const SlimConfig defaults;
+  const auto full = MakeCandidateGenerator(GetParam(), ctx, defaults.lsh,
+                                           defaults.grid, 1);
+
+  for (const int shards : {2, 7}) {
+    const ShardPlan plan = ShardPlan::Fixed(ctx.store_i.size(), shards);
+    std::vector<std::unique_ptr<CandidateGenerator>> parts;
+    uint64_t total = 0;
+    for (const auto& [begin, end] : plan.ranges) {
+      parts.push_back(MakeShardCandidateGenerator(
+          GetParam(), ctx, defaults.lsh, defaults.grid, begin, end, 1));
+      total += parts.back()->total_candidate_pairs();
+      EXPECT_EQ(parts.back()->name(), full->name());
+    }
+    EXPECT_EQ(total, full->total_candidate_pairs()) << shards;
+
+    for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+      std::vector<EntityIdx> merged;
+      for (size_t s = 0; s < parts.size(); ++s) {
+        const auto span = parts[s]->CandidatesFor(u);
+        // Shard lists are ascending and stay inside their range, so
+        // concatenation in shard order IS the sorted union.
+        for (const EntityIdx v : span) {
+          EXPECT_GE(v, plan.ranges[s].first);
+          EXPECT_LT(v, plan.ranges[s].second);
+        }
+        merged.insert(merged.end(), span.begin(), span.end());
+      }
+      const auto expected = full->CandidatesFor(u);
+      ASSERT_EQ(merged, std::vector<EntityIdx>(expected.begin(),
+                                               expected.end()))
+          << "left " << u << " at " << shards << " shards";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, ShardCandidates,
+                         ::testing::Values(CandidateKind::kLsh,
+                                           CandidateKind::kBruteForce,
+                                           CandidateKind::kGrid),
+                         [](const auto& info) {
+                           return std::string(CandidateKindName(info.param));
+                         });
+
+// ---- The driver: sharded == monolithic, at every K x threads. ----
+
+class ShardedDriver : public ::testing::TestWithParam<CandidateKind> {};
+
+TEST_P(ShardedDriver, MatchesTheMonolithicPathAtEveryShardAndThreadCount) {
+  SlimConfig config;
+  config.candidates = GetParam();
+  config.threads = 1;
+  const auto reference = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_GT(reference->links.size(), 0u);
+
+  for (const int shards : {1, 2, 7}) {
+    for (const int threads : {1, 8}) {
+      config.shards = shards;
+      config.threads = threads;
+      const auto sharded = SlimLinker(config).LinkSharded(Sample().a,
+                                                          Sample().b);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      EXPECT_EQ(sharded->shards_used, shards);
+      EXPECT_EQ(sharded->candidates_used, GetParam());
+      // Every positive-score edge passes through the spill; the medium is
+      // a temp file only when K > 1 (spilling at K == 1 would reload
+      // everything immediately).
+      EXPECT_EQ(sharded->spilled_edges, sharded->graph.num_edges());
+      if (shards == 1) {
+        EXPECT_FALSE(sharded->spill_on_disk);
+      }
+      ExpectIdenticalResults(
+          *reference, *sharded,
+          StrFormat("%s shards=%d threads=%d",
+                    std::string(CandidateKindName(GetParam())).c_str(),
+                    shards, threads));
+    }
+  }
+}
+
+TEST_P(ShardedDriver, BudgetDrivenRunMatchesToo) {
+  SlimConfig config;
+  config.candidates = GetParam();
+  config.threads = 2;
+  const auto reference = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(reference.ok());
+
+  // A deliberately small budget so the planner actually shards.
+  config.shards = 0;
+  config.shard_memory_budget_bytes = 1u << 20;
+  const auto sharded = SlimLinker(config).LinkSharded(Sample().a, Sample().b);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_GE(sharded->shards_used, 1);
+  ExpectIdenticalResults(*reference, *sharded, "budget-driven");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, ShardedDriver,
+                         ::testing::Values(CandidateKind::kLsh,
+                                           CandidateKind::kBruteForce,
+                                           CandidateKind::kGrid),
+                         [](const auto& info) {
+                           return std::string(CandidateKindName(info.param));
+                         });
+
+TEST(ShardedDriver, EmptySidesShortCircuit) {
+  LocationDataset empty("empty");
+  empty.Finalize();
+  SlimConfig config;
+  config.shards = 4;
+  const auto result = SlimLinker(config).LinkSharded(empty, Sample().b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->links.empty());
+  EXPECT_EQ(result->possible_pairs, 0u);
+}
+
+TEST(ShardedDriver, RequiresFinalizedDatasets) {
+  LocationDataset raw("raw");
+  raw.Add(1, {37.7, -122.4}, 1000);
+  const auto result = SlimLinker(SlimConfig{}).LinkSharded(raw, Sample().b);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---- Golden bit-identity: sharded runs against the committed goldens. ----
+
+std::string GoldenPath(const char* name) {
+  return std::string(SLIM_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// u,v,score at 17 fixed decimals — the exact format of the committed
+// quick_links_*.csv goldens (see test_determinism.cc).
+std::vector<std::string> FormatLinks(
+    const std::vector<LinkedEntityPair>& links) {
+  std::vector<std::string> lines;
+  lines.reserve(links.size());
+  for (const auto& link : links) {
+    lines.push_back(std::to_string(link.u) + "," + std::to_string(link.v) +
+                    "," + FormatFixed(link.score, 17));
+  }
+  return lines;
+}
+
+class ShardedGoldenLinks : public ::testing::Test {
+ protected:
+  static const LocationDataset& A() {
+    static const LocationDataset* a = Load("quick_a.csv", "A");
+    return *a;
+  }
+  static const LocationDataset& B() {
+    static const LocationDataset* b = Load("quick_b.csv", "B");
+    return *b;
+  }
+
+ private:
+  static const LocationDataset* Load(const char* name, const char* label) {
+    auto ds = ReadDataset(GoldenPath(name), label);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    return new LocationDataset(std::move(ds.value()));
+  }
+};
+
+TEST_F(ShardedGoldenLinks, EveryGeneratorShardCountAndThreadCount) {
+  const struct {
+    CandidateKind kind;
+    const char* golden;
+  } cases[] = {
+      {CandidateKind::kLsh, "quick_links_lsh.csv"},
+      {CandidateKind::kBruteForce, "quick_links_brute.csv"},
+      {CandidateKind::kGrid, "quick_links_grid.csv"},
+  };
+  for (const auto& c : cases) {
+    const std::vector<std::string> golden = ReadLines(GoldenPath(c.golden));
+    ASSERT_GT(golden.size(), 0u) << c.golden;
+    for (const int shards : {1, 2, 7}) {
+      for (const int threads : {1, 8}) {
+        SlimConfig config;
+        config.candidates = c.kind;
+        config.shards = shards;
+        config.threads = threads;
+        const auto result =
+            SlimLinker(config).LinkSharded(A(), B());
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(FormatLinks(result->links), golden)
+            << c.golden << " shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slim

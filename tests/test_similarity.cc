@@ -272,7 +272,9 @@ TEST(Similarity, RecordComparisonCounterMatchesBinProducts) {
 TEST(Similarity, SelfScoreIsPositiveAndMaximalForAnchoredEntities) {
   Rng rng(9);
   std::vector<LatLng> anchors;
-  for (int k = 0; k < 6; ++k) anchors.push_back(testing::RandomPointInBox(&rng));
+  for (int k = 0; k < 6; ++k) {
+    anchors.push_back(testing::RandomPointInBox(&rng));
+  }
   const LocationDataset ds =
       testing::MakeAnchoredDataset(anchors, 10, kWindow);
   // Symmetric context: the dataset on both sides, so S(u, u) is the self

@@ -22,7 +22,11 @@ void Usage() {
       "usage: slim_generate --workload cab|sm --out master.csv [options]\n"
       "       slim_generate --workload cab|sm --experiment "
       "--out_prefix PFX [options]\n"
+      "       slim_generate --preset sm100k --out_prefix PFX [options]\n"
       "options:\n"
+      "  --preset NAME      named scenario; sm100k is the 100k-entities-\n"
+      "                     per-side SM experiment the sharded driver\n"
+      "                     targets (slim_link --shards; docs/BENCHMARKS.md)\n"
       "  --format KIND      output dataset format: auto|csv|sbin\n"
       "                     (auto picks sbin for *.sbin paths, else csv)\n"
       "  --entities N       entities in the master workload\n"
@@ -33,19 +37,31 @@ void Usage() {
       "  --side_entities N  entities per experiment side (default: auto)\n");
 }
 
+// Preset-dependent defaults; every explicit flag still wins.
+struct GenerateDefaults {
+  const char* workload = "";
+  long long entities_cab = 100;
+  long long entities_sm = 2000;
+  long long side_entities = 0;
+  bool experiment = false;
+};
+
 slim::LocationDataset Generate(const slim::tools::Flags& flags,
-                               const std::string& workload) {
+                               const std::string& workload,
+                               const GenerateDefaults& defaults) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   if (workload == "cab") {
     slim::CabGeneratorOptions opt;
-    opt.num_taxis = static_cast<int>(flags.GetInt("entities", 100));
+    opt.num_taxis =
+        static_cast<int>(flags.GetInt("entities", defaults.entities_cab));
     opt.duration_days = flags.GetDouble("days", 6.0);
     opt.seed = seed;
     return slim::GenerateCabDataset(opt);
   }
   if (workload == "sm") {
     slim::CheckinGeneratorOptions opt;
-    opt.num_users = static_cast<int>(flags.GetInt("entities", 2000));
+    opt.num_users =
+        static_cast<int>(flags.GetInt("entities", defaults.entities_sm));
     opt.duration_days = flags.GetDouble("days", 26.0);
     opt.seed = seed;
     return slim::GenerateCheckinDataset(opt);
@@ -58,7 +74,23 @@ slim::LocationDataset Generate(const slim::tools::Flags& flags,
 
 int main(int argc, char** argv) {
   slim::tools::Flags flags(argc, argv);
-  const std::string workload = flags.GetString("workload", "");
+  GenerateDefaults defaults;
+  const std::string preset = flags.GetString("preset", "");
+  if (preset == "sm100k") {
+    // The sharded-linkage scenario: a 200k-user SM master sampled into two
+    // 100k-entity sides — the scale bench_sharded records in
+    // BENCH_sharded.json. Master generation is the slow part (~minutes);
+    // prefer --format sbin for fast reload into slim_link.
+    defaults.workload = "sm";
+    defaults.entities_sm = 200000;
+    defaults.side_entities = 100000;
+    defaults.experiment = true;
+  } else if (!preset.empty()) {
+    slim::tools::Flags::Fail("unknown --preset: " + preset +
+                             " (expected sm100k)");
+  }
+  const std::string workload =
+      flags.GetString("workload", defaults.workload);
   if (workload.empty()) {
     Usage();
     return 2;
@@ -66,11 +98,11 @@ int main(int argc, char** argv) {
   auto format = slim::ParseDatasetFormat(flags.GetString("format", "auto"));
   if (!format.ok()) slim::tools::Flags::Fail(format.status().ToString());
 
-  const slim::LocationDataset master = Generate(flags, workload);
+  const slim::LocationDataset master = Generate(flags, workload, defaults);
   std::fprintf(stderr, "generated %zu entities / %zu records\n",
                master.num_entities(), master.num_records());
 
-  if (!flags.GetBool("experiment", false)) {
+  if (!flags.GetBool("experiment", defaults.experiment)) {
     const std::string out = flags.GetString("out", "");
     if (out.empty()) {
       Usage();
@@ -89,8 +121,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   slim::PairSampleOptions opt;
-  opt.entities_per_side =
-      static_cast<size_t>(flags.GetInt("side_entities", 0));
+  opt.entities_per_side = static_cast<size_t>(
+      flags.GetInt("side_entities", defaults.side_entities));
   opt.intersection_ratio = flags.GetDouble("intersection", 0.5);
   opt.inclusion_probability = flags.GetDouble("inclusion", 0.5);
   opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)) + 1;

@@ -8,7 +8,7 @@
 //             [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
 //             [--lsh_buckets N] [--threshold gmm|otsu|two_means|none]
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
-//             [--bench_json PATH]
+//             [--shards K | --memory_budget_mb M] [--bench_json PATH]
 //
 // Inputs: CSV (entity_id,lat,lng,timestamp epoch seconds, header optional)
 // or SBIN (docs/ARCHITECTURE.md#data); --format=auto sniffs each file.
@@ -69,11 +69,17 @@ void Usage() {
       "  --min_records N       drop entities with fewer records (default 6)\n"
       "  --threads N           worker threads for every pipeline stage\n"
       "                        (default: SLIM_THREADS env, else hardware)\n"
+      "  --shards K            run the sharded driver with K contiguous\n"
+      "                        right-side shards; links are bit-identical\n"
+      "                        to the monolithic path at every K\n"
+      "  --memory_budget_mb M  run the sharded driver with as many shards\n"
+      "                        as an M-MB per-block budget demands\n"
+      "                        (ignored when --shards is given)\n"
       "  --report PATH         also write a markdown linkage report\n"
       "  --bench_json PATH     also write per-stage wall times, distance-\n"
-      "                        cache efficacy, and peak RSS as JSON\n"
-      "                        (schema slim-link-bench-v2; see "
-      "docs/BENCHMARKS.md)\n");
+      "                        cache efficacy, peak RSS, and shard\n"
+      "                        provenance as JSON (schema\n"
+      "                        slim-link-bench-v3; see docs/BENCHMARKS.md)\n");
 }
 
 }  // namespace
@@ -120,7 +126,9 @@ int main(int argc, char** argv) {
   const std::string candidates_flag = flags.GetString("candidates", "");
   auto candidates = slim::ParseCandidateKind(
       candidates_flag.empty() ? "lsh" : candidates_flag);
-  if (!candidates.ok()) slim::tools::Flags::Fail(candidates.status().ToString());
+  if (!candidates.ok()) {
+    slim::tools::Flags::Fail(candidates.status().ToString());
+  }
   config.candidates = *candidates;
   if (flags.GetBool("no_lsh", false)) {
     // Legacy alias. Refuse a contradictory explicit --candidates rather
@@ -142,6 +150,17 @@ int main(int argc, char** argv) {
   config.lsh.num_buckets =
       static_cast<size_t>(flags.GetInt("lsh_buckets", 4096));
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
+  config.shards = static_cast<int>(flags.GetInt("shards", 0));
+  const long long budget_mb = flags.GetInt("memory_budget_mb", 0);
+  if (budget_mb < 0) {
+    slim::tools::Flags::Fail("--memory_budget_mb must be >= 0");
+  }
+  config.shard_memory_budget_bytes =
+      static_cast<uint64_t>(budget_mb) * (uint64_t{1} << 20);
+  // Either sharding knob selects the sharded driver; otherwise the
+  // monolithic path runs (the outputs are bit-identical either way).
+  const bool use_sharded = config.shards > 0 ||
+                           config.shard_memory_budget_bytes > 0;
 
   const std::string thr = flags.GetString("threshold", "gmm");
   if (thr == "gmm") {
@@ -175,9 +194,15 @@ int main(int argc, char** argv) {
   }
 
   const slim::SlimLinker linker(config);
-  auto result = linker.Link(*a, *b);
+  auto result = use_sharded ? linker.LinkSharded(*a, *b) : linker.Link(*a, *b);
   if (!result.ok()) slim::tools::Flags::Fail(result.status().ToString());
 
+  if (use_sharded) {
+    std::fprintf(stderr, "sharded driver: %d shard(s), %llu edges via %s\n",
+                 result->shards_used,
+                 static_cast<unsigned long long>(result->spilled_edges),
+                 result->spill_on_disk ? "disk spill" : "memory");
+  }
   std::fprintf(stderr,
                "scored %llu of %llu pairs; %zu matched; %zu linked "
                "(threshold %s); %.2fs total\n",
@@ -203,12 +228,15 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"slim-link-bench-v2\",\n"
+        "  \"schema\": \"slim-link-bench-v3\",\n"
         "  \"a\": \"%s\",\n"
         "  \"b\": \"%s\",\n"
         "  \"entities_a\": %zu,\n"
         "  \"entities_b\": %zu,\n"
         "  \"threads\": %d,\n"
+        "  \"shards\": %d,\n"
+        "  \"spilled_edges\": %llu,\n"
+        "  \"spill_on_disk\": %s,\n"
         "  \"candidates\": \"%s\",\n"
         "  \"candidate_pairs\": %llu,\n"
         "  \"possible_pairs\": %llu,\n"
@@ -235,6 +263,9 @@ int main(int argc, char** argv) {
         JsonEscape(path_a).c_str(), JsonEscape(path_b).c_str(),
         a->num_entities(), b->num_entities(),
         config.threads > 0 ? config.threads : slim::DefaultThreadCount(),
+        result->shards_used,
+        static_cast<unsigned long long>(result->spilled_edges),
+        result->spill_on_disk ? "true" : "false",
         std::string(slim::CandidateKindName(result->candidates_used)).c_str(),
         static_cast<unsigned long long>(result->candidate_pairs),
         static_cast<unsigned long long>(result->possible_pairs),
