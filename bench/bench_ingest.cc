@@ -340,6 +340,10 @@ int Main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
+    if (!bench::BaselineSchemaReadable(buffer.str(), baseline_path.c_str(),
+                                       {{"slim-bench-ingest", 1}})) {
+      return 2;
+    }
     const std::vector<IngestRunRecord> baseline =
         ParseIngestRuns(buffer.str());
     SLIM_CHECK_MSG(!baseline.empty(), "baseline has no runs");

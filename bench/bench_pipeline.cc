@@ -292,6 +292,11 @@ int Main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
+    if (!bench::BaselineSchemaReadable(buffer.str(), baseline_path.c_str(),
+                                       {{"slim-bench-pipeline", 2},
+                                        {"slim-bench-sharded", 3}})) {
+      return 2;
+    }
     const std::vector<bench::PipelineRunRecord> baseline =
         bench::ParsePipelineRuns(buffer.str());
     SLIM_CHECK_MSG(!baseline.empty(), "baseline has no runs");

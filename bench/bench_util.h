@@ -171,8 +171,9 @@ struct PipelineRunRecord {
 };
 
 /// The key vocabulary of every bench-record schema the repo has shipped
-/// (v1 pipeline seconds, v2 + RSS/distance-cache, v3 + sharding). Keys a
-/// reader meets outside this list signal baseline/schema drift.
+/// (v1 pipeline seconds, v2 + RSS/distance-cache, v3 + sharding, the
+/// kernel-bench v1 family). Keys a reader meets outside this list signal
+/// baseline/schema drift.
 inline bool IsKnownBenchKey(const std::string& key) {
   static const char* const kKnown[] = {
       // Document level.
@@ -185,10 +186,77 @@ inline bool IsKnownBenchKey(const std::string& key) {
       "peak_rss_bytes", "block_bytes", "distance_cache", "hits", "misses",
       "spilled_edges", "spill_on_disk",
       // Stage names (inside seconds / speedup / RSS objects).
-      "histories", "lsh", "scoring", "matching", "total"};
+      "histories", "lsh", "scoring", "matching", "total",
+      // Kernel-bench run level (slim-bench-kernel-v1, bench_kernel.cc).
+      "op", "shape", "kernel", "reps", "ns_per_element"};
   for (const char* known : kKnown) {
     if (key == known) return true;
   }
+  return false;
+}
+
+/// A parsed "schema" document value: "<family>-v<N>" -> {family, N}.
+struct BenchSchema {
+  std::string family;
+  int version = 0;
+};
+
+/// Extracts the document's "schema" value. Returns false when the key is
+/// absent (hand-written pre-schema documents) or the value does not end in
+/// "-v<digits>".
+inline bool ParseBenchSchema(const std::string& json, BenchSchema* out) {
+  const size_t key = json.find("\"schema\"");
+  if (key == std::string::npos) return false;
+  const size_t open = json.find('"', key + sizeof("\"schema\"") - 1);
+  if (open == std::string::npos) return false;
+  const size_t close = json.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  const std::string value = json.substr(open + 1, close - open - 1);
+  const size_t dash = value.rfind("-v");
+  if (dash == std::string::npos || dash + 2 >= value.size()) return false;
+  for (size_t k = dash + 2; k < value.size(); ++k) {
+    if (std::isdigit(static_cast<unsigned char>(value[k])) == 0) return false;
+  }
+  out->family = value.substr(0, dash);
+  out->version = std::atoi(value.c_str() + dash + 2);
+  return true;
+}
+
+/// One (family, newest-readable-version) pair a gated reader declares.
+struct BenchSchemaLimit {
+  const char* family;
+  int max_version;
+};
+
+/// Guard for gated baseline comparisons. The scanning readers above skip
+/// unknown keys, which is safe for *older* baselines but silently wrong for
+/// *newer* ones: a future schema may rename or re-scope the very numbers
+/// the gate compares, and a half-parsed baseline would then gate against
+/// garbage. So a baseline whose schema family is foreign, or whose version
+/// is newer than the reader, is rejected outright. Documents without a
+/// schema key predate the vocabulary and are accepted as version 0.
+/// Returns true when the baseline is safe to compare; logs the reason to
+/// stderr otherwise.
+inline bool BaselineSchemaReadable(
+    const std::string& json, const char* path,
+    std::initializer_list<BenchSchemaLimit> readable) {
+  BenchSchema schema;
+  if (!ParseBenchSchema(json, &schema)) return true;  // pre-schema document
+  for (const BenchSchemaLimit& limit : readable) {
+    if (schema.family != limit.family) continue;
+    if (schema.version <= limit.max_version) return true;
+    std::fprintf(stderr,
+                 "baseline %s has schema %s-v%d but this reader only "
+                 "understands %s up to v%d; regenerate the baseline or "
+                 "rebuild a newer bench binary\n",
+                 path, schema.family.c_str(), schema.version, limit.family,
+                 limit.max_version);
+    return false;
+  }
+  std::fprintf(stderr,
+               "baseline %s has schema family \"%s\", which this gate does "
+               "not read\n",
+               path, schema.family.c_str());
   return false;
 }
 

@@ -1,7 +1,9 @@
 // google-benchmark micro suites for the performance-critical primitives:
-// spatial cells, window-tree queries, bin pairing, similarity scoring,
-// LSH index construction, matching, and the GMM fit.
+// spatial cells, window-tree queries, bin pairing, the SIMD score kernels,
+// similarity scoring, LSH index construction, matching, and the GMM fit.
 #include <benchmark/benchmark.h>
+
+#include <random>
 
 #include "slim.h"
 
@@ -74,6 +76,139 @@ void BM_DominatingCellQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DominatingCellQuery);
+
+// ------------------------------------------------------- score kernel ----
+
+// Args: {span length, kernel ordinal}. Skips (not fails) variants the CPU
+// cannot run, so the suite stays portable.
+constexpr ScoreKernel kKernelByOrdinal[] = {
+    ScoreKernel::kScalar, ScoreKernel::kSse42, ScoreKernel::kAvx2};
+
+// Two strictly ascending bursty spans of length n — runs of consecutive
+// windows separated by idle gaps, each run shared or private to one side —
+// the scoring loop's typical shape (see bench_kernel.cc).
+template <typename T>
+std::pair<std::vector<T>, std::vector<T>> KernelBenchSpans(size_t n,
+                                                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> run_len(8, 48);
+  std::uniform_int_distribution<int> gap(16, 256);
+  std::uniform_int_distribution<int> owner(0, 2);
+  std::vector<T> a, b;
+  T value = 0;
+  while (a.size() < n || b.size() < n) {
+    value = static_cast<T>(value + static_cast<T>(gap(rng)));
+    const int len = run_len(rng);
+    const int who = owner(rng);
+    const bool to_a = who != 2 && a.size() < n;
+    const bool to_b = who != 1 && b.size() < n;
+    for (int k = 0; k < len; ++k) {
+      value = static_cast<T>(value + 1);
+      if (to_a) a.push_back(value);
+      if (to_b) b.push_back(value);
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+void BM_KernelIntersectI64(benchmark::State& state) {
+  const ScoreKernel kernel = kKernelByOrdinal[state.range(1)];
+  if (!ScoreKernelSupported(kernel)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const ScoreKernelOps& ops = GetScoreKernelOps(kernel);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto [a, b] = KernelBenchSpans<int64_t>(n, 12);
+  std::vector<uint32_t> oa(n), ob(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.intersect_i64(a.data(), a.size(), b.data(),
+                                               b.size(), oa.data(),
+                                               ob.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
+  state.SetLabel(ScoreKernelName(kernel));
+}
+BENCHMARK(BM_KernelIntersectI64)
+    ->ArgsProduct({{64, 1024, 16384}, {0, 1, 2}});
+
+void BM_KernelIntersectU32(benchmark::State& state) {
+  const ScoreKernel kernel = kKernelByOrdinal[state.range(1)];
+  if (!ScoreKernelSupported(kernel)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const ScoreKernelOps& ops = GetScoreKernelOps(kernel);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto [a, b] = KernelBenchSpans<uint32_t>(n, 13);
+  std::vector<uint32_t> oa(n), ob(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.intersect_u32(a.data(), a.size(), b.data(),
+                                               b.size(), oa.data(),
+                                               ob.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
+  state.SetLabel(ScoreKernelName(kernel));
+}
+BENCHMARK(BM_KernelIntersectU32)
+    ->ArgsProduct({{64, 1024, 16384}, {0, 1, 2}});
+
+void BM_KernelIdfContributions(benchmark::State& state) {
+  const ScoreKernel kernel = kKernelByOrdinal[state.range(1)];
+  if (!ScoreKernelSupported(kernel)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const ScoreKernelOps& ops = GetScoreKernelOps(kernel);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(14);
+  std::uniform_real_distribution<double> idf(0.1, 14.0);
+  std::uniform_int_distribution<uint32_t> bin(0, 4095);
+  std::vector<double> idf_a(4096), idf_b(4096), out(n);
+  for (auto& v : idf_a) v = idf(rng);
+  for (auto& v : idf_b) v = idf(rng);
+  std::vector<uint32_t> bins_a(n), bins_b(n);
+  for (size_t k = 0; k < n; ++k) {
+    bins_a[k] = bin(rng);
+    bins_b[k] = bin(rng);
+  }
+  for (auto _ : state) {
+    ops.idf_contributions(bins_a.data(), bins_b.data(), n, idf_a.data(),
+                          idf_b.data(), 1.37, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(ScoreKernelName(kernel));
+}
+BENCHMARK(BM_KernelIdfContributions)
+    ->ArgsProduct({{16, 256, 4096}, {0, 1, 2}});
+
+void BM_KernelIntersectSkewedGallop(benchmark::State& state) {
+  const ScoreKernel kernel = kKernelByOrdinal[state.range(0)];
+  if (!ScoreKernelSupported(kernel)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return;
+  }
+  const ScoreKernelOps& ops = GetScoreKernelOps(kernel);
+  // 128:1 skew — IntersectSortedI64 takes the galloping path.
+  const auto [big, _unused] = KernelBenchSpans<int64_t>(16384, 15);
+  std::mt19937_64 rng(16);
+  std::bernoulli_distribution keep(128.0 / 16384.0);
+  std::vector<int64_t> small;
+  for (const int64_t v : big) {
+    if (keep(rng)) small.push_back(v);
+  }
+  std::vector<uint32_t> oa(small.size()), ob(small.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntersectSortedI64(ops, small.data(), small.size(), big.data(),
+                           big.size(), oa.data(), ob.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(small.size() + big.size()));
+  state.SetLabel(ScoreKernelName(kernel));
+}
+BENCHMARK(BM_KernelIntersectSkewedGallop)->Arg(0)->Arg(1)->Arg(2);
 
 // --------------------------------------------------------- similarity ----
 

@@ -1,0 +1,30 @@
+#include "common/cpu.h"
+
+// SLIM_X86_KERNELS gates both the probes here and the SIMD kernel bodies in
+// core/score_kernel.cc, so the two can never disagree about availability.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SLIM_X86_KERNELS 1
+#else
+#define SLIM_X86_KERNELS 0
+#endif
+
+namespace slim {
+
+bool CpuHasSse42() {
+#if SLIM_X86_KERNELS
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if SLIM_X86_KERNELS
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace slim

@@ -1,0 +1,22 @@
+// Runtime CPU feature detection for the SIMD kernel dispatch.
+//
+// The scoring kernels (core/score_kernel.h) are compiled with per-function
+// target attributes, so the binary always contains every variant; these
+// probes decide at runtime which ones are safe to call on the machine the
+// process actually landed on. On non-x86 targets (or compilers without
+// __builtin_cpu_supports) every probe returns false and the dispatch falls
+// back to the scalar reference kernel.
+#ifndef SLIM_COMMON_CPU_H_
+#define SLIM_COMMON_CPU_H_
+
+namespace slim {
+
+/// True when the CPU executes SSE4.2 (and the build can emit it).
+bool CpuHasSse42();
+
+/// True when the CPU executes AVX2 (and the build can emit it).
+bool CpuHasAvx2();
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_CPU_H_

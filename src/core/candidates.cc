@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "core/score_kernel.h"
 
 namespace slim {
 namespace {
@@ -157,13 +158,21 @@ class GridBlockingCandidates final : public CandidateGenerator {
     }
 
     const uint32_t cap = config.max_bin_entities;
+    const uint32_t min_overlap = config.min_overlap_records;
+    // The quantized-overlap prefilter runs on whatever kernel the CPU
+    // resolves to — it is integer-exact, so the surviving pairs are the
+    // same on every kernel and shard layout.
+    const ScoreKernelOps& ops =
+        GetScoreKernelOps(ResolveScoreKernel(ScoreKernel::kAuto));
     std::vector<std::vector<EntityIdx>> lists(se.size());
     ParallelFor(
         se.size(),
         [&](size_t begin, size_t end, int) {
+          std::vector<uint32_t> match_a, match_b;  // per-worker scratch
           for (size_t k = begin; k < end; ++k) {
+            const EntityIdx u = static_cast<EntityIdx>(k);
             auto& list = lists[k];
-            for (const BinId b : se.bins(static_cast<EntityIdx>(k))) {
+            for (const BinId b : se.bins(u)) {
               // The hotspot stop-word counts holders in the FULL right
               // store, so shard builds skip exactly the bins the
               // monolithic build skips.
@@ -174,6 +183,13 @@ class GridBlockingCandidates final : public CandidateGenerator {
             }
             std::sort(list.begin(), list.end());
             list.erase(std::unique(list.begin(), list.end()), list.end());
+            if (min_overlap > 1) {
+              std::erase_if(list, [&](EntityIdx v) {
+                return QuantizedOverlap(ops, se.bins(u), se.quantized_counts(u),
+                                        si.bins(v), si.quantized_counts(v),
+                                        &match_a, &match_b) < min_overlap;
+              });
+            }
           }
         },
         threads);

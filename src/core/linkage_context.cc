@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "core/score_kernel.h"
 
 namespace slim {
 namespace {
@@ -93,6 +94,7 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
   store->windows_.resize(total_windows);
   store->window_bin_begin_.resize(total_windows + 1);
   store->window_bin_begin_[total_windows] = static_cast<uint32_t>(total_bins);
+  store->window_masks_.assign(n * HistoryStore::kWindowMaskWords, 0);
 
   ParallelFor(
       n,
@@ -101,6 +103,8 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
           const auto& bins = side.bins[k];
           uint32_t bin_pos = store->bin_offsets_[k];
           uint32_t win_pos = store->window_offsets_[k];
+          uint64_t* mask =
+              store->window_masks_.data() + k * HistoryStore::kWindowMaskWords;
           for (size_t i = 0; i < bins.size(); ++i) {
             const auto id = vocab.Find(bins[i].window, bins[i].cell);
             SLIM_CHECK_MSG(id.has_value(), "bin missing from vocabulary");
@@ -110,12 +114,23 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
               store->windows_[win_pos] = bins[i].window;
               store->window_bin_begin_[win_pos] = bin_pos;
               ++win_pos;
+              // Fingerprint bit (window mod 512); the unsigned cast keeps
+              // pre-epoch (negative) windows consistent on both stores.
+              const uint64_t w = static_cast<uint64_t>(bins[i].window);
+              mask[(w >> 6) & (HistoryStore::kWindowMaskWords - 1)] |=
+                  uint64_t{1} << (w & 63);
             }
             ++bin_pos;
           }
         }
       },
       threads);
+
+  // Quantized (saturating u16) copy of the counts for the integer overlap
+  // prefilters — built here so every store has it without a separate pass.
+  store->quantized_counts_.resize(total_bins);
+  QuantizeCountsSaturating(store->bin_counts_,
+                           store->quantized_counts_.data());
 
   // Dataset-level statistics: per-bin holder counts (each entity's bins are
   // distinct, so every occurrence is one holder) and the IDF array.

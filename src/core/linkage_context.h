@@ -96,12 +96,28 @@ class HistoryStore {
     return {bin_counts_.data() + bin_offsets_[u],
             bin_counts_.data() + bin_offsets_[u + 1]};
   }
+  /// Saturating u16 quantisation of counts(u) (counts above 65535 clamp),
+  /// precomputed for the integer overlap prefilters of
+  /// core/score_kernel.h::QuantizedOverlap.
+  std::span<const uint16_t> quantized_counts(EntityIdx u) const {
+    return {quantized_counts_.data() + bin_offsets_[u],
+            quantized_counts_.data() + bin_offsets_[u + 1]};
+  }
 
   /// Sorted distinct occupied windows of entity u.
   std::span<const int64_t> windows(EntityIdx u) const {
     return {windows_.data() + window_offsets_[u],
             windows_.data() + window_offsets_[u + 1]};
   }
+  /// 512-bit occupancy fingerprint of windows(u): bit (w mod 512) is set
+  /// for every occupied window w. A superset summary — two entities whose
+  /// fingerprints share no bit provably share no window, so the scoring
+  /// path can reject most zero-overlap candidate pairs on one cache line
+  /// instead of merging the window lists. Exactly kWindowMaskWords words.
+  const uint64_t* window_mask(EntityIdx u) const {
+    return window_masks_.data() + static_cast<size_t>(u) * kWindowMaskWords;
+  }
+  static constexpr size_t kWindowMaskWords = 8;
   /// The bins of entity u's k-th occupied window (k is a position in
   /// windows(u)), as a [begin, end) span of positions into bin_ids().
   std::pair<uint32_t, uint32_t> WindowBinRange(EntityIdx u, size_t k) const {
@@ -140,12 +156,14 @@ class HistoryStore {
   std::vector<uint32_t> bin_offsets_;
   std::vector<BinId> bin_ids_;
   std::vector<uint32_t> bin_counts_;
+  std::vector<uint16_t> quantized_counts_;  // bin_counts_ saturated to u16
   // CSR over occupied windows: entity u owns windows_ positions
   // [window_offsets_[u], window_offsets_[u+1]); window_bin_begin_ maps each
   // window (plus one global sentinel) to where its bins start in bin_ids_.
   std::vector<uint32_t> window_offsets_;
   std::vector<int64_t> windows_;
   std::vector<uint32_t> window_bin_begin_;
+  std::vector<uint64_t> window_masks_;  // kWindowMaskWords per entity
   // Flat per-BinId statistics (size = vocabulary size).
   std::vector<uint32_t> bin_entity_counts_;
   std::vector<double> idf_;

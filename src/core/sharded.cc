@@ -225,12 +225,13 @@ Result<LinkageResult> SlimLinker::LinkSharded(
           auto& edges = block_edges[static_cast<size_t>(shard)];
           auto& stats = block_stats[static_cast<size_t>(shard)];
           CellDistanceCache cache;
+          ScoreScratch scratch;
           for (size_t k = begin; k < end; ++k) {
             const EntityIdx u_idx = static_cast<EntityIdx>(k);
             const EntityId u = ctx.store_e.entity_id(u_idx);
             for (const EntityIdx v_idx : generator->CandidatesFor(u_idx)) {
-              const double s =
-                  engine.ScoreIndexed(u_idx, v_idx, &stats, &cache);
+              const double s = engine.ScoreIndexed(u_idx, v_idx, &stats,
+                                                   &cache, &scratch);
               if (s > 0.0) {
                 edges.push_back({u, ctx.store_i.entity_id(v_idx), s});
               }

@@ -11,6 +11,8 @@ SimilarityEngine::SimilarityEngine(const LinkageContext& context,
                                    const SimilarityConfig& config)
     : ctx_(context), config_(config) {
   SLIM_CHECK_MSG(config_.b >= 0.0 && config_.b <= 1.0, "b must be in [0,1]");
+  kernel_ = ResolveScoreKernel(config_.kernel);
+  ops_ = &GetScoreKernelOps(kernel_);
   runaway_m_ = RunawayMeters(config_.proximity, ctx_.config.window_seconds);
   if (config_.use_normalization) {
     norm_e_.resize(ctx_.store_e.size());
@@ -25,21 +27,57 @@ SimilarityEngine::SimilarityEngine(const LinkageContext& context,
 }
 
 double SimilarityEngine::Score(EntityId u, EntityId v, SimilarityStats* stats,
-                               CellDistanceCache* cache) const {
+                               CellDistanceCache* cache,
+                               ScoreScratch* scratch) const {
   const auto iu = ctx_.store_e.IndexOf(u);
   const auto iv = ctx_.store_i.IndexOf(v);
   if (!iu.has_value() || !iv.has_value()) return 0.0;
-  return ScoreIndexed(*iu, *iv, stats, cache);
+  return ScoreIndexed(*iu, *iv, stats, cache, scratch);
 }
 
 double SimilarityEngine::ScoreIndexed(EntityIdx u, EntityIdx v,
                                       SimilarityStats* stats,
-                                      CellDistanceCache* cache) const {
+                                      CellDistanceCache* cache,
+                                      ScoreScratch* scratch) const {
   SLIM_CHECK(stats != nullptr);
   ++stats->entity_pairs;
   const HistoryStore& se = ctx_.store_e;
   const HistoryStore& si = ctx_.store_i;
-  if (se.num_bins(u) == 0 || si.num_bins(v) == 0) return 0.0;
+
+  // Most candidate pairs share no window at all, so the zero-score path is
+  // the hot one and runs on as little memory as possible. First gate: the
+  // 512-bit window fingerprints — disjoint fingerprints prove an empty
+  // intersection for the cost of one v-side cache line (the v side is a
+  // fresh random entity each call, so every distinct structure it touches
+  // is a likely miss). This also covers empty histories (empty mask).
+  const uint64_t* mu = se.window_mask(u);
+  const uint64_t* mv = si.window_mask(v);
+  uint64_t overlap = 0;
+  for (size_t w = 0; w < HistoryStore::kWindowMaskWords; ++w) {
+    overlap |= mu[w] & mv[w];
+  }
+  if (overlap == 0) return 0.0;
+
+  // Second gate: the real sorted-window intersection, kernel-dispatched
+  // (galloping when the lengths are badly skewed). Everything a zero-match
+  // pair does not need — norm factors, bin/idf pointers — loads only after
+  // the match count survives the early-out.
+  const auto wu = se.windows(u);
+  const auto wv = si.windows(v);
+  if (wu.empty() || wv.empty()) return 0.0;
+
+  ScoreScratch local;
+  ScoreScratch& s = scratch != nullptr ? *scratch : local;
+
+  const size_t cap = std::min(wu.size(), wv.size());
+  if (s.match_a.size() < cap) {
+    s.match_a.resize(cap);
+    s.match_b.resize(cap);
+  }
+  const size_t matched =
+      IntersectSortedI64(*ops_, wu.data(), wu.size(), wv.data(), wv.size(),
+                         s.match_a.data(), s.match_b.data());
+  if (matched == 0) return 0.0;
 
   // Normalisation divisor (Eq. 2); 1 when disabled.
   const double norm =
@@ -51,32 +89,80 @@ double SimilarityEngine::ScoreIndexed(EntityIdx u, EntityIdx v,
   const double* idf_e = config_.use_idf ? se.idf_values().data() : nullptr;
   const double* idf_i = config_.use_idf ? si.idf_values().data() : nullptr;
 
-  // Intersect the two sorted window lists.
-  const auto wu = se.windows(u);
-  const auto wv = si.windows(v);
   double score = 0.0;
-  size_t iu = 0, iv = 0;
-  std::vector<double> dist;   // reused per-window distance matrix
-  std::vector<char> in_mnn;   // reused MNN membership mask
+  s.run_bins.clear();
 
-  while (iu < wu.size() && iv < wv.size()) {
-    if (wu[iu] < wv[iv]) {
-      ++iu;
-      continue;
+  // Flushes the pending run of trivial windows — 1x1 with the same bin,
+  // where the distance is 0 and the proximity exactly 1 — as one batched
+  // min(idf)/norm pass. The batch is summed in window order, so the
+  // accumulation order (and thus every rounding) matches the scalar
+  // reference bit-for-bit.
+  const auto flush_run = [&] {
+    const size_t run = s.run_bins.size();
+    if (run == 0) return;
+    stats->record_comparisons += run;
+    if (config_.use_idf) {
+      if (run < 4) {
+        // Too short for the batched kernel to pay for its indirect call.
+        // min and the divide are exactly-rounded elementwise ops, so this
+        // matches the kernel lane (and thus every variant) bit-for-bit.
+        for (size_t k = 0; k < run; ++k) {
+          const BinId bb = s.run_bins[k];
+          score += std::min(idf_e[bb], idf_i[bb]) / norm;
+        }
+        s.run_bins.clear();
+        return;
+      }
+      if (s.contrib.size() < run) s.contrib.resize(run);
+      ops_->idf_contributions(s.run_bins.data(), s.run_bins.data(), run,
+                              idf_e, idf_i, norm, s.contrib.data());
+      for (size_t k = 0; k < run; ++k) score += s.contrib[k];
+    } else {
+      const double c = 1.0 / norm;
+      for (size_t k = 0; k < run; ++k) score += c;
     }
-    if (wv[iv] < wu[iu]) {
-      ++iv;
-      continue;
-    }
-    const auto [ub, ue] = se.WindowBinRange(u, iu);
-    const auto [vb, ve] = si.WindowBinRange(v, iv);
-    ++iu;
-    ++iv;
+    s.run_bins.clear();
+  };
+
+  for (size_t t = 0; t < matched; ++t) {
+    const auto [ub, ue] = se.WindowBinRange(u, s.match_a[t]);
+    const auto [vb, ve] = si.WindowBinRange(v, s.match_b[t]);
     const size_t m = ue - ub;
     const size_t n = ve - vb;
 
-    // Distance matrix, computed once and shared by the N and N' passes.
-    dist.resize(m * n);
+    if (m == 1 && n == 1) {
+      const BinId bu = bins_e[ub];
+      const BinId bv = bins_i[vb];
+      if (bu == bv) {
+        // Same (window, cell) bin on both sides: the vocabulary is shared,
+        // so equal BinIds mean equal cells — d = 0 and P = 1 exactly, no
+        // cache lookup needed. Defer to the batched flush.
+        s.run_bins.push_back(bu);
+        continue;
+      }
+      flush_run();
+      // A single cross-cell bin pair: the pairing is forced (it is both
+      // the mutual-nearest and the all-pairs set), so skip the matrix and
+      // pairing machinery.
+      const CellId cell_u = vocab.cell(bu);
+      const CellId cell_v = vocab.cell(bv);
+      const double d = cache != nullptr ? cache->Get(cell_u, cell_v)
+                                        : MinDistanceMeters(cell_u, cell_v);
+      ++stats->record_comparisons;
+      const double p =
+          SpatialProximity(d, runaway_m_, config_.proximity.clamp_epsilon);
+      if (IsAlibi(d, runaway_m_)) ++stats->alibi_pairs;
+      const double idf =
+          config_.use_idf ? std::min(idf_e[bu], idf_i[bv]) : 1.0;
+      score += p * idf / norm;
+      continue;
+    }
+    flush_run();
+
+    // General m x n window: distance matrix computed once and shared by
+    // the N and N' passes.
+    s.dist.resize(m * n);
+    double* dist = s.dist.data();
     for (size_t r = 0; r < m; ++r) {
       const CellId cell_u = vocab.cell(bins_e[ub + r]);
       for (size_t c = 0; c < n; ++c) {
@@ -105,21 +191,22 @@ double SimilarityEngine::ScoreIndexed(EntityIdx u, EntityIdx v,
     } else {
       const bool run_mfn = config_.use_mfn;
       const MutualPairing pairing =
-          MutualNearestAndFurthestPairs(dist, m, n, run_mfn);
-      in_mnn.assign(m * n, 0);
+          MutualNearestAndFurthestPairs(s.dist, m, n, run_mfn);
+      s.in_mnn.assign(m * n, 0);
       for (const auto& [r, c] : pairing.nearest) {
-        in_mnn[r * n + c] = 1;
+        s.in_mnn[r * n + c] = 1;
         score += contribution(r, c);
       }
       // Alg. 1: add mutually-furthest pairs only when they are alibis
       // (negative delta) and not already counted by N.
       for (const auto& [r, c] : pairing.furthest) {
-        if (in_mnn[r * n + c]) continue;
+        if (s.in_mnn[r * n + c]) continue;
         const double delta = contribution(r, c);
         if (delta < 0.0) score += delta;
       }
     }
   }
+  flush_run();
   return score;
 }
 

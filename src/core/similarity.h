@@ -19,6 +19,7 @@
 
 #include "core/linkage_context.h"
 #include "core/proximity.h"
+#include "core/score_kernel.h"
 #include "geo/distance_cache.h"
 
 namespace slim {
@@ -46,6 +47,11 @@ struct SimilarityConfig {
   bool use_idf = true;
   /// Enables the L(u,E)*L(v,I) normalisation (off -> divisor 1).
   bool use_normalization = true;
+
+  /// Which SIMD kernel variant scores with (core/score_kernel.h). All
+  /// variants produce bit-identical scores; kAuto picks the fastest the CPU
+  /// supports (overridable via the SLIM_KERNEL environment variable).
+  ScoreKernel kernel = ScoreKernel::kAuto;
 };
 
 /// Instrumentation accumulated while scoring; all counters are additive so
@@ -62,7 +68,9 @@ struct SimilarityStats {
   /// between hits and misses depends on how entities shard over worker
   /// threads (each shard warms its own cache), so unlike every other
   /// counter these are NOT invariant across thread counts — only
-  /// hits + misses (= record_comparisons when a cache is used) is.
+  /// hits + misses is. (Same-bin pairs are scored without a cache lookup —
+  /// their distance is 0 by construction — so hits + misses counts the
+  /// distance-computed bin pairs, a subset of record_comparisons.)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 
@@ -76,30 +84,53 @@ struct SimilarityStats {
   }
 };
 
+/// Reusable per-thread scoring buffers. ScoreIndexed fills and reuses these
+/// instead of allocating per call; pass one instance per worker thread
+/// alongside its CellDistanceCache (nullptr falls back to a call-local
+/// instance). Contents between calls are scratch — never read them.
+struct ScoreScratch {
+  std::vector<uint32_t> match_a;  // window-intersection positions, left
+  std::vector<uint32_t> match_b;  // window-intersection positions, right
+  std::vector<uint32_t> run_bins;  // pending batched same-bin windows
+  std::vector<double> contrib;     // batched IDF contributions
+  std::vector<double> dist;        // per-window distance matrix
+  std::vector<char> in_mnn;        // MNN membership mask
+};
+
 /// Scores pairs of entities across the two stores of a LinkageContext
 /// (dataset E on the left, dataset I on the right). Thread-safe: scoring is
-/// const and all mutable state lives in the caller-provided stats/cache.
+/// const and all mutable state lives in the caller-provided
+/// stats/cache/scratch.
 class SimilarityEngine {
  public:
-  /// The context must outlive the engine.
+  /// The context must outlive the engine. Resolves config.kernel against
+  /// the CPU (fatal if a forced variant is unsupported).
   SimilarityEngine(const LinkageContext& context,
                    const SimilarityConfig& config);
 
   const SimilarityConfig& config() const { return config_; }
 
+  /// The concrete kernel variant scoring runs on (never kAuto).
+  ScoreKernel kernel() const { return kernel_; }
+
   /// S(u, v) per Eq. 2 over dense indices (u into store_e, v into store_i).
   /// `cache` memoises cell distances across calls (pass one per worker
-  /// thread); nullptr computes distances directly.
+  /// thread); nullptr computes distances directly. `scratch` provides the
+  /// reusable buffers (one per worker thread); nullptr allocates locally.
   double ScoreIndexed(EntityIdx u, EntityIdx v, SimilarityStats* stats,
-                      CellDistanceCache* cache = nullptr) const;
+                      CellDistanceCache* cache = nullptr,
+                      ScoreScratch* scratch = nullptr) const;
 
   /// Convenience entity-id overload; unknown entities score 0.
   double Score(EntityId u, EntityId v, SimilarityStats* stats,
-               CellDistanceCache* cache = nullptr) const;
+               CellDistanceCache* cache = nullptr,
+               ScoreScratch* scratch = nullptr) const;
 
  private:
   const LinkageContext& ctx_;
   SimilarityConfig config_;
+  ScoreKernel kernel_;
+  const ScoreKernelOps* ops_;
   double runaway_m_;
   // Precomputed L(u, E) / L(v, I) per entity (empty when normalisation is
   // disabled or a side is empty).

@@ -9,6 +9,7 @@
 #ifndef SLIM_SLIM_H_
 #define SLIM_SLIM_H_
 
+#include "common/cpu.h"         // IWYU pragma: export
 #include "common/parallel.h"    // IWYU pragma: export
 #include "common/rng.h"         // IWYU pragma: export
 #include "common/status.h"      // IWYU pragma: export
@@ -50,6 +51,7 @@
 #include "core/linkage_context.h"  // IWYU pragma: export
 #include "core/pairing.h"          // IWYU pragma: export
 #include "core/proximity.h"        // IWYU pragma: export
+#include "core/score_kernel.h"     // IWYU pragma: export
 #include "core/sharded.h"          // IWYU pragma: export
 #include "core/similarity.h"       // IWYU pragma: export
 #include "core/slim.h"        // IWYU pragma: export

@@ -108,6 +108,33 @@ TEST(HistoryStore, CsrLayoutMatchesSparseHistories) {
   EXPECT_DOUBLE_EQ(ctx.store_e.avg_bins(), sparse.avg_bins_per_history());
 }
 
+TEST(HistoryStore, WindowMaskCoversEveryOccupiedWindow) {
+  const LocationDataset a = RandomDataset(31, 8, 60, "a");
+  const LocationDataset b = RandomDataset(32, 8, 60, "b");
+  const LinkageContext ctx = LinkageContext::Build(a, b, Config());
+  for (const HistoryStore* store : {&ctx.store_e, &ctx.store_i}) {
+    for (EntityIdx u = 0; u < store->size(); ++u) {
+      const uint64_t* mask = store->window_mask(u);
+      // The fingerprint is a superset summary: every occupied window must
+      // have its (window mod 512) bit set, or the scoring prefilter could
+      // wrongly prove an intersection empty.
+      for (const int64_t w : store->windows(u)) {
+        const uint64_t uw = static_cast<uint64_t>(w);
+        const uint64_t word = mask[(uw >> 6) % HistoryStore::kWindowMaskWords];
+        EXPECT_NE(word & (uint64_t{1} << (uw & 63)), 0u)
+            << "entity " << u << " window " << w;
+      }
+      // And an empty history must have an all-zero mask, so the prefilter
+      // also covers the empty case.
+      if (store->windows(u).empty()) {
+        for (size_t k = 0; k < HistoryStore::kWindowMaskWords; ++k) {
+          EXPECT_EQ(mask[k], 0u);
+        }
+      }
+    }
+  }
+}
+
 TEST(HistoryStore, FlatIdfAgreesWithSparseHistorySet) {
   const LocationDataset a = RandomDataset(5, 10, 50, "a");
   const LocationDataset b = RandomDataset(6, 10, 50, "b");

@@ -5,6 +5,7 @@
 //             [--spatial_level N | --auto_tune]
 //             [--window_minutes M] [--b_param X] [--max_speed_kmh S]
 //             [--candidates lsh|brute|grid] [--no_lsh] [--grid_max_bin N]
+//             [--grid_min_overlap N] [--kernel auto|scalar|sse42|avx2]
 //             [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
 //             [--lsh_buckets N] [--threshold gmm|otsu|two_means|none]
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
@@ -60,6 +61,12 @@ void Usage() {
       "  --no_lsh              alias for --candidates brute\n"
       "  --grid_max_bin N      grid blocking: skip bins shared by > N right\n"
       "                        entities (default 0 = no cap)\n"
+      "  --grid_min_overlap N  grid blocking: drop pairs with quantized\n"
+      "                        co-visit mass < N (default 0 = keep all)\n"
+      "  --kernel KIND         scoring kernel: auto|scalar|sse42|avx2\n"
+      "                        (default auto; links are bit-identical on\n"
+      "                        every kernel, SLIM_KERNEL env sets the auto\n"
+      "                        choice)\n"
       "  --lsh_level N         signature spatial level (default 10)\n"
       "  --lsh_step N          query step in leaf windows (default 8)\n"
       "  --lsh_threshold T     candidate similarity threshold (default 0.5)\n"
@@ -79,7 +86,7 @@ void Usage() {
       "  --bench_json PATH     also write per-stage wall times, distance-\n"
       "                        cache efficacy, peak RSS, and shard\n"
       "                        provenance as JSON (schema\n"
-      "                        slim-link-bench-v3; see docs/BENCHMARKS.md)\n");
+      "                        slim-link-bench-v4; see docs/BENCHMARKS.md)\n");
 }
 
 }  // namespace
@@ -142,6 +149,19 @@ int main(int argc, char** argv) {
   }
   config.grid.max_bin_entities =
       static_cast<uint32_t>(flags.GetInt("grid_max_bin", 0));
+  config.grid.min_overlap_records =
+      static_cast<uint32_t>(flags.GetInt("grid_min_overlap", 0));
+  const std::string kernel_flag = flags.GetString("kernel", "auto");
+  const auto kernel = slim::ParseScoreKernel(kernel_flag);
+  if (!kernel.has_value()) {
+    slim::tools::Flags::Fail("unknown --kernel: " + kernel_flag +
+                             " (expected auto|scalar|sse42|avx2)");
+  }
+  if (!slim::ScoreKernelSupported(*kernel)) {
+    slim::tools::Flags::Fail("--kernel " + kernel_flag +
+                             " is not supported by this CPU");
+  }
+  config.similarity.kernel = *kernel;
   config.lsh.signature_spatial_level =
       static_cast<int>(flags.GetInt("lsh_level", 10));
   config.lsh.temporal_step_windows =
@@ -228,7 +248,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"slim-link-bench-v3\",\n"
+        "  \"schema\": \"slim-link-bench-v4\",\n"
         "  \"a\": \"%s\",\n"
         "  \"b\": \"%s\",\n"
         "  \"entities_a\": %zu,\n"
@@ -238,6 +258,7 @@ int main(int argc, char** argv) {
         "  \"spilled_edges\": %llu,\n"
         "  \"spill_on_disk\": %s,\n"
         "  \"candidates\": \"%s\",\n"
+        "  \"kernel\": \"%s\",\n"
         "  \"candidate_pairs\": %llu,\n"
         "  \"possible_pairs\": %llu,\n"
         "  \"links\": %zu,\n"
@@ -267,6 +288,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result->spilled_edges),
         result->spill_on_disk ? "true" : "false",
         std::string(slim::CandidateKindName(result->candidates_used)).c_str(),
+        slim::ScoreKernelName(slim::ResolveScoreKernel(*kernel)),
         static_cast<unsigned long long>(result->candidate_pairs),
         static_cast<unsigned long long>(result->possible_pairs),
         result->links.size(),
