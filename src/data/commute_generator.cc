@@ -1,0 +1,245 @@
+#include "data/commute_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace slim {
+namespace {
+
+struct WorkCenter {
+  LatLng center;
+  double weight;
+  std::vector<LatLng> lunch_venues;
+};
+
+LatLng UniformInBox(const CommuteGeneratorOptions& opt, Rng* rng) {
+  return LatLng{rng->NextDouble(opt.lat_lo, opt.lat_hi),
+                rng->NextDouble(opt.lng_lo, opt.lng_hi)};
+}
+
+LatLng ClampToBox(const CommuteGeneratorOptions& opt, const LatLng& p) {
+  return LatLng{std::clamp(p.lat_deg, opt.lat_lo, opt.lat_hi),
+                std::clamp(p.lng_deg, opt.lng_lo, opt.lng_hi)};
+}
+
+// Linear interpolation in lat/lng is accurate enough inside a metro box.
+LatLng Interpolate(const LatLng& a, const LatLng& b, double f) {
+  return LatLng{a.lat_deg + (b.lat_deg - a.lat_deg) * f,
+                a.lng_deg + (b.lng_deg - a.lng_deg) * f};
+}
+
+LatLng JitterAround(const LatLng& center, double sigma_m,
+                    const CommuteGeneratorOptions& opt, Rng* rng) {
+  const double bearing = rng->NextDouble(0.0, 360.0);
+  const double dist = std::abs(rng->NextGaussian()) * sigma_m;
+  return ClampToBox(opt, DestinationPoint(center, bearing, dist));
+}
+
+size_t PickZipfWeighted(const std::vector<WorkCenter>& centers,
+                        double total_weight, Rng* rng) {
+  double x = rng->NextDouble() * total_weight;
+  size_t idx = 0;
+  for (; idx + 1 < centers.size(); ++idx) {
+    x -= centers[idx].weight;
+    if (x <= 0.0) break;
+  }
+  return idx;
+}
+
+}  // namespace
+
+LocationDataset GenerateCommuteDataset(const CommuteGeneratorOptions& opt) {
+  SLIM_CHECK_MSG(opt.num_commuters > 0, "num_commuters must be positive");
+  SLIM_CHECK_MSG(opt.duration_days > 0, "duration_days must be positive");
+  SLIM_CHECK_MSG(opt.num_work_centers > 0,
+                 "num_work_centers must be positive");
+  SLIM_CHECK_MSG(opt.trip_interval_seconds > 0 &&
+                     opt.dwell_interval_seconds > 0,
+                 "sampling cadences must be positive");
+  SLIM_CHECK_MSG(opt.walk_speed_kmh > 0 && opt.bike_speed_kmh > 0 &&
+                     opt.drive_min_speed_kmh > 0 &&
+                     opt.drive_max_speed_kmh >= opt.drive_min_speed_kmh,
+                 "speed configuration invalid");
+
+  Rng master_rng(opt.seed);
+
+  // Shared geography: employment centers (Zipf popularity, each with a
+  // small shared lunch-venue pool) and weekend POIs.
+  std::vector<WorkCenter> centers;
+  centers.reserve(static_cast<size_t>(opt.num_work_centers));
+  for (int c = 0; c < opt.num_work_centers; ++c) {
+    WorkCenter wc;
+    wc.center = UniformInBox(opt, &master_rng);
+    wc.weight =
+        1.0 / std::pow(static_cast<double>(c + 1), opt.work_center_skew);
+    wc.lunch_venues.reserve(
+        static_cast<size_t>(std::max(opt.lunch_venues_per_center, 1)));
+    for (int v = 0; v < std::max(opt.lunch_venues_per_center, 1); ++v) {
+      wc.lunch_venues.push_back(JitterAround(
+          wc.center, opt.lunch_radius_meters, opt, &master_rng));
+    }
+    centers.push_back(std::move(wc));
+  }
+  double total_weight = 0.0;
+  for (const auto& wc : centers) total_weight += wc.weight;
+
+  std::vector<LatLng> pois;
+  pois.reserve(static_cast<size_t>(std::max(opt.num_poi, 1)));
+  for (int p = 0; p < std::max(opt.num_poi, 1); ++p) {
+    pois.push_back(UniformInBox(opt, &master_rng));
+  }
+
+  const double duration_s = opt.duration_days * 86400.0;
+  const int num_days =
+      static_cast<int>(std::ceil(opt.duration_days - 1e-9));
+  LocationDataset out("commute");
+  // Rough per-agent-day record budget: two commute legs plus dwell pings.
+  out.Reserve(static_cast<size_t>(static_cast<double>(opt.num_commuters) *
+                                  opt.duration_days *
+                                  (86400.0 / opt.dwell_interval_seconds + 50)));
+
+  for (int agent = 0; agent < opt.num_commuters; ++agent) {
+    Rng rng = master_rng.Fork(static_cast<uint64_t>(agent));
+
+    const LatLng home = UniformInBox(opt, &rng);
+    const size_t center_idx = PickZipfWeighted(centers, total_weight, &rng);
+    const WorkCenter& wc = centers[center_idx];
+    const LatLng work =
+        JitterAround(wc.center, opt.work_center_sigma_meters, opt, &rng);
+
+    // Modal choice, constrained by the commute distance.
+    const double commute_m = HaversineMeters(home, work);
+    double commute_speed_kmh;
+    if (commute_m <= opt.max_walk_commute_km * 1000.0 &&
+        rng.NextBernoulli(opt.walk_probability)) {
+      commute_speed_kmh = opt.walk_speed_kmh;
+    } else if (commute_m <= opt.max_bike_commute_km * 1000.0 &&
+               rng.NextBernoulli(opt.bike_probability)) {
+      commute_speed_kmh = opt.bike_speed_kmh;
+    } else {
+      commute_speed_kmh =
+          rng.NextDouble(opt.drive_min_speed_kmh, opt.drive_max_speed_kmh);
+    }
+    const double drive_speed_kmh =
+        rng.NextDouble(opt.drive_min_speed_kmh, opt.drive_max_speed_kmh);
+
+    // The agent's personal schedule offset.
+    const double agent_depart_offset_s =
+        rng.NextGaussian() * opt.depart_agent_sigma_minutes * 60.0;
+
+    auto emit = [&](const LatLng& p, double t) {
+      if (t < 0.0 || t >= duration_s) return;
+      LatLng noisy = p;
+      if (opt.gps_noise_meters > 0.0) {
+        noisy = DestinationPoint(
+            p, rng.NextDouble(0.0, 360.0),
+            std::abs(rng.NextGaussian()) * opt.gps_noise_meters);
+      }
+      out.Add(static_cast<EntityId>(agent), ClampToBox(opt, noisy),
+              opt.start_epoch + static_cast<int64_t>(t));
+    };
+
+    // Travels from `from` to `to` starting at `t`, emitting samples at the
+    // trip cadence; returns the arrival time.
+    auto travel = [&](const LatLng& from, const LatLng& to, double t,
+                      double speed_kmh) -> double {
+      const double leg_time =
+          HaversineMeters(from, to) / (speed_kmh / 3.6);
+      double s = t + opt.trip_interval_seconds * rng.NextDouble(0.7, 1.3);
+      while (s < t + leg_time) {
+        emit(Interpolate(from, to, (s - t) / leg_time), s);
+        s += opt.trip_interval_seconds * rng.NextDouble(0.7, 1.3);
+      }
+      return t + leg_time;
+    };
+
+    // Stays at `p` from `t_start` to `t_end`, emitting sparse pings.
+    auto dwell = [&](const LatLng& p, double t_start, double t_end) {
+      double s =
+          t_start + opt.dwell_interval_seconds * rng.NextDouble(0.3, 1.3);
+      while (s < t_end) {
+        emit(p, s);
+        s += opt.dwell_interval_seconds * rng.NextDouble(0.7, 1.3);
+      }
+    };
+
+    // Time at which the agent is back home and free; carried across days
+    // so a trip running past midnight can never overlap the next day's
+    // home pings (positions stay physically continuous).
+    double t = 0.0;
+    for (int day = 0; day < num_days; ++day) {
+      const double day_start = static_cast<double>(day) * 86400.0;
+      const double day_end = std::min(day_start + 86400.0, duration_s);
+      const bool weekday = (day % 7) < 5;
+
+      if (weekday) {
+        const double depart = std::max(
+            std::clamp(
+                day_start + opt.depart_mean_hour * 3600.0 +
+                    agent_depart_offset_s +
+                    rng.NextGaussian() * opt.depart_day_sigma_minutes * 60.0,
+                day_start + 4.0 * 3600.0, day_start + 12.0 * 3600.0),
+            t);
+        dwell(home, t, depart);
+        t = travel(home, work, depart, commute_speed_kmh);
+        const double work_hours = std::clamp(
+            opt.work_hours_mean + rng.NextGaussian() * opt.work_hours_sigma,
+            4.0, 12.0);
+        const double leave = t + work_hours * 3600.0;
+        if (rng.NextBernoulli(opt.lunch_probability) &&
+            leave - t > 5.0 * 3600.0) {
+          // Walk to a shared lunch venue of this center ~4h into the day,
+          // eat for half an hour, walk back.
+          const double lunch_depart = t + 4.0 * 3600.0;
+          dwell(work, t, lunch_depart);
+          const LatLng venue = wc.lunch_venues[rng.NextZipf(
+              wc.lunch_venues.size(), opt.poi_skew)];
+          double lt =
+              travel(work, venue, lunch_depart, opt.walk_speed_kmh);
+          const double lunch_end = lt + 1800.0;
+          dwell(venue, lt, lunch_end);
+          t = travel(venue, work, lunch_end, opt.walk_speed_kmh);
+          dwell(work, t, leave);
+        } else {
+          dwell(work, t, leave);
+        }
+        // A long lunch walk can overrun `leave`; never depart mid-trip.
+        t = travel(work, home, std::max(leave, t), commute_speed_kmh);
+        dwell(home, t, day_end);
+        t = std::max(t, day_end);
+      } else {
+        // Weekend: excursions to shared POIs, otherwise at home.
+        const uint64_t n_trips = rng.NextPoisson(opt.weekend_trips_mean);
+        std::vector<double> starts;
+        starts.reserve(n_trips);
+        for (uint64_t k = 0; k < n_trips; ++k) {
+          starts.push_back(day_start +
+                           rng.NextDouble(9.0 * 3600.0, 19.0 * 3600.0));
+        }
+        std::sort(starts.begin(), starts.end());
+        for (double s : starts) {
+          s = std::max(s, t);  // previous excursion may still be running
+          if (s >= day_end) break;
+          dwell(home, t, s);
+          const LatLng poi =
+              pois[rng.NextZipf(pois.size(), opt.poi_skew)];
+          t = travel(home, poi, s, drive_speed_kmh);
+          const double visit_end =
+              t + rng.NextDouble(1.0 * 3600.0, 3.0 * 3600.0);
+          dwell(poi, t, visit_end);
+          t = travel(poi, home, visit_end, drive_speed_kmh);
+        }
+        dwell(home, t, day_end);
+        t = std::max(t, day_end);
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,107 @@
+// Agent-based commute workload — the third synthetic generator, structurally
+// unlike the cab fleet (few dense entities) and the check-in crowd (many
+// sparse entities): a metro-area population with per-entity home/work
+// anchors and a weekly schedule. The model follows the SimMobility /
+// EPR-style agent simulations referenced in PAPERS.md.
+//
+// Each commuter owns a fixed home location (unique, suburban-uniform) and a
+// fixed workplace drawn from a small set of popularity-skewed employment
+// centers (shared across many commuters — that sharing is what gives the
+// similarity score's IDF term its contrast, exactly like check-in venues).
+// On weekdays the agent pings sparsely at home overnight, commutes to work
+// at a modal speed (walk / bike / drive, chosen per agent from the commute
+// distance), dwells at work with an optional lunch excursion to a shared
+// per-center lunch venue, and commutes home in the evening. On weekends the
+// agent takes zero or more excursions to popularity-skewed points of
+// interest. Movement is continuous (every location change is a traveled
+// leg at its modal speed), so alibi detection stays meaningful; positions
+// are sampled densely while moving and sparsely while dwelling, with GPS
+// measurement noise.
+#ifndef SLIM_DATA_COMMUTE_GENERATOR_H_
+#define SLIM_DATA_COMMUTE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace slim {
+
+/// Configuration for GenerateCommuteDataset(). Defaults give a
+/// metro-population suitable for tests and the quick robustness sweep;
+/// scale num_commuters / duration_days up for bench runs.
+struct CommuteGeneratorOptions {
+  int num_commuters = 400;
+  /// Collection duration; 14 days covers two full weekly cycles.
+  double duration_days = 14.0;
+  /// First record timestamp (epoch seconds). 2019-03-04T00:00Z is a
+  /// Monday, so day k of the simulation has day-of-week k % 7 (0 = Mon).
+  int64_t start_epoch = 1551657600;
+
+  /// Metro bounding box (default: Chicago-sized, ~55 x 40 km). Homes are
+  /// uniform in the box; a box this wide keeps same-window cross-entity
+  /// observations above one alibi-speed reach, like the cab box.
+  double lat_lo = 41.60, lat_hi = 42.10;
+  double lng_lo = -88.00, lng_hi = -87.50;
+
+  /// Employment centers; workplace popularity is Zipf(work_center_skew).
+  int num_work_centers = 8;
+  double work_center_skew = 1.0;
+  /// Gaussian jitter of a workplace around its center, meters (the
+  /// agent's building — fixed per agent).
+  double work_center_sigma_meters = 500.0;
+  /// Shared lunch venues per employment center (drawn within
+  /// lunch_radius_meters of the center; picked Zipf per lunch break).
+  int lunch_venues_per_center = 6;
+  double lunch_radius_meters = 400.0;
+
+  /// Weekend points of interest shared across the population; excursion
+  /// destinations are Zipf(poi_skew).
+  int num_poi = 40;
+  double poi_skew = 0.8;
+
+  /// Weekday departure: mean hours after midnight, a per-agent offset
+  /// (their personal schedule) and a smaller per-day jitter.
+  double depart_mean_hour = 8.0;
+  double depart_agent_sigma_minutes = 45.0;
+  double depart_day_sigma_minutes = 10.0;
+  /// Time spent at work, hours (Gaussian, clamped to [4, 12]).
+  double work_hours_mean = 8.5;
+  double work_hours_sigma = 0.75;
+  /// Probability of a lunch excursion on a given workday.
+  double lunch_probability = 0.4;
+
+  /// Modal split. An agent walks only if the commute is within
+  /// max_walk_commute_km (bikes within max_bike_commute_km); otherwise it
+  /// drives. Weekend excursions always travel at driving speed.
+  double walk_probability = 0.2;
+  double bike_probability = 0.3;
+  double max_walk_commute_km = 3.0;
+  double max_bike_commute_km = 10.0;
+  double walk_speed_kmh = 4.5;
+  double bike_speed_kmh = 14.0;
+  double drive_min_speed_kmh = 25.0;
+  double drive_max_speed_kmh = 55.0;
+
+  /// Mean weekend excursions per weekend day (Poisson); each dwells 1-3 h
+  /// at the POI.
+  double weekend_trips_mean = 1.2;
+
+  /// Sampling cadence: dense while moving, sparse pings while dwelling
+  /// (a phone's motion-triggered duty cycle). Both get +-30% jitter.
+  double trip_interval_seconds = 90.0;
+  double dwell_interval_seconds = 2400.0;
+
+  /// GPS noise standard deviation, meters.
+  double gps_noise_meters = 15.0;
+
+  uint64_t seed = 44;
+};
+
+/// Generates the master commute dataset (entity ids 0..num_commuters-1);
+/// feed it to SampleLinkedPair() to derive the two sides of a linkage
+/// experiment.
+LocationDataset GenerateCommuteDataset(const CommuteGeneratorOptions& options);
+
+}  // namespace slim
+
+#endif  // SLIM_DATA_COMMUTE_GENERATOR_H_

@@ -1,0 +1,136 @@
+// Robustness quality harness: parameterized dataset degradations and the
+// sweep driver that measures how linkage quality (precision / recall / F1)
+// decays along each degradation axis.
+//
+// Four axes, each emulating a real data pathology:
+//   * GPS noise        — every record displaced by half-normal(sigma) meters
+//                        in a uniform direction (the generators' own noise
+//                        convention), emulating worse positioning.
+//   * downsampling     — each record kept independently with probability p,
+//                        emulating a lower ping rate / sparser service use.
+//   * entity drop      — only the first ceil(q * N) entities of a seeded
+//                        shuffle survive; the sweep applies this to side B
+//                        only, emulating asymmetric service density.
+//   * truncation       — each entity keeps only the first ceil(f * n)
+//                        records of its timeline, emulating a shorter
+//                        observation window.
+//
+// All degradations are deterministic in (input, spec): the record/entity
+// RNG streams are forked per entity *rank* so a fixed dataset always
+// degrades the same way. Quality metrics are evaluated against the
+// UNdegraded ground truth — losing a true partner to degradation counts
+// against recall, which is exactly the decay being measured.
+#ifndef SLIM_EVAL_ROBUSTNESS_H_
+#define SLIM_EVAL_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/slim.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+
+namespace slim {
+
+/// One parameterized corruption. Defaults are the identity (no change).
+struct DegradationSpec {
+  /// Half-normal GPS displacement sigma, meters. 0 = off.
+  double gps_noise_meters = 0.0;
+  /// Per-record keep probability in (0, 1]. 1 = keep all.
+  double record_keep_probability = 1.0;
+  /// Fraction of entities kept (seeded-shuffle prefix) in (0, 1].
+  double entity_keep_fraction = 1.0;
+  /// Per-entity record-prefix keep fraction in (0, 1].
+  double truncate_keep_fraction = 1.0;
+  /// Degradation RNG seed (noise, downsampling, entity shuffle).
+  uint64_t seed = 2024;
+};
+
+/// True when `spec` changes nothing (all knobs at their identity values).
+bool IsIdentityDegradation(const DegradationSpec& spec);
+
+/// Applies `spec` to a finalized dataset. Order: entity drop, truncation,
+/// downsampling, noise. Deterministic in (input, spec); the identity spec
+/// returns a record-identical dataset.
+LocationDataset DegradeDataset(const LocationDataset& input,
+                               const DegradationSpec& spec);
+
+/// The degradation axes the sweep walks.
+enum class DegradationAxis {
+  kGpsNoise = 0,    // value = sigma, meters (0 = pristine)
+  kDownsample,      // value = keep probability (1 = pristine)
+  kEntityDrop,      // value = B-side entity keep fraction (1 = pristine)
+  kTruncate,        // value = record-prefix keep fraction (1 = pristine)
+};
+
+/// Stable identifier used in the sweep JSON ("gps_noise_meters",
+/// "record_keep", "entity_keep_b", "truncate_keep").
+const char* DegradationAxisName(DegradationAxis axis);
+
+/// The spec for one grid point of `axis` (all other knobs identity).
+DegradationSpec SpecForAxisValue(DegradationAxis axis, double value,
+                                 uint64_t seed);
+
+/// Quality and run facts at one degradation grid point.
+struct SweepPoint {
+  double value = 0.0;
+  LinkageQuality quality;
+  size_t links = 0;
+  size_t entities_a = 0;
+  size_t entities_b = 0;
+  double seconds = 0.0;
+};
+
+/// One axis' curve: quality at each grid value (pristine value first).
+struct SweepCurve {
+  DegradationAxis axis = DegradationAxis::kGpsNoise;
+  std::vector<SweepPoint> points;
+};
+
+/// One workload's full sweep: the zero-degradation baseline plus one curve
+/// per requested axis.
+struct SweepWorkloadResult {
+  std::string workload;
+  size_t truth_pairs = 0;
+  SweepPoint baseline;
+  std::vector<SweepCurve> curves;
+};
+
+/// Sweep configuration. The linkage pipeline config is reused at every
+/// grid point; min_records re-applies the paper's sparse-entity filter
+/// after degradation (downsampling/truncation can push entities below it).
+struct SweepOptions {
+  SlimConfig config;
+  size_t min_records = 6;
+  uint64_t seed = 2024;
+};
+
+/// Runs the full link pipeline on the degraded pair and evaluates it
+/// against `truth`. Entity drops apply to side B only; every other axis
+/// degrades both sides (with independent RNG streams).
+SweepPoint RunSweepPoint(const LocationDataset& a, const LocationDataset& b,
+                         const GroundTruth& truth, DegradationAxis axis,
+                         double value, const SweepOptions& options);
+
+/// Walks `values` along `axis` (values[0] should be the pristine value so
+/// curves start at the baseline).
+SweepCurve RunDegradationSweep(const LocationDataset& a,
+                               const LocationDataset& b,
+                               const GroundTruth& truth, DegradationAxis axis,
+                               const std::vector<double>& values,
+                               const SweepOptions& options);
+
+/// Renders the sweep as a markdown document (one table per workload/axis),
+/// in the style of eval/report.
+std::string RenderSweepReport(const std::vector<SweepWorkloadResult>& results);
+
+/// Writes the versioned machine-readable record (schema "slim-sweep-v1").
+Status WriteSweepJson(const std::vector<SweepWorkloadResult>& results,
+                      bool quick, uint64_t seed, const std::string& path);
+
+}  // namespace slim
+
+#endif  // SLIM_EVAL_ROBUSTNESS_H_

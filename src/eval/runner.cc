@@ -45,6 +45,19 @@ CheckinGeneratorOptions CheckinOptionsForScale(BenchScale scale) {
   return opt;
 }
 
+CommuteGeneratorOptions CommuteOptionsForScale(BenchScale scale) {
+  CommuteGeneratorOptions opt;
+  if (scale == BenchScale::kFull) {
+    // Metro scale: a few thousand commuters over four weekly cycles.
+    opt.num_commuters = 2000;
+    opt.duration_days = 28.0;
+  } else {
+    opt.num_commuters = 200;
+    opt.duration_days = 7.0;
+  }
+  return opt;
+}
+
 const LocationDataset& CachedCabMaster(BenchScale scale) {
   static const LocationDataset small =
       GenerateCabDataset(CabOptionsForScale(BenchScale::kSmall));
@@ -60,6 +73,15 @@ const LocationDataset& CachedCheckinMaster(BenchScale scale) {
   if (scale == BenchScale::kSmall) return small;
   static const LocationDataset full =
       GenerateCheckinDataset(CheckinOptionsForScale(BenchScale::kFull));
+  return full;
+}
+
+const LocationDataset& CachedCommuteMaster(BenchScale scale) {
+  static const LocationDataset small =
+      GenerateCommuteDataset(CommuteOptionsForScale(BenchScale::kSmall));
+  if (scale == BenchScale::kSmall) return small;
+  static const LocationDataset full =
+      GenerateCommuteDataset(CommuteOptionsForScale(BenchScale::kFull));
   return full;
 }
 

@@ -10,6 +10,7 @@
 #include "core/slim.h"
 #include "data/cab_generator.h"
 #include "data/checkin_generator.h"
+#include "data/commute_generator.h"
 #include "data/sampler.h"
 #include "eval/metrics.h"
 
@@ -29,10 +30,12 @@ BenchScale BenchScaleFromEnv();
 /// DESIGN.md §1 for how these mirror the paper's Cab and SM datasets).
 CabGeneratorOptions CabOptionsForScale(BenchScale scale);
 CheckinGeneratorOptions CheckinOptionsForScale(BenchScale scale);
+CommuteGeneratorOptions CommuteOptionsForScale(BenchScale scale);
 
 /// Master datasets, generated once per process and cached.
 const LocationDataset& CachedCabMaster(BenchScale scale);
 const LocationDataset& CachedCheckinMaster(BenchScale scale);
+const LocationDataset& CachedCommuteMaster(BenchScale scale);
 
 /// One linkage experiment outcome: SLIM's result plus its ground-truth
 /// quality.

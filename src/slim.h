@@ -25,6 +25,7 @@
 
 #include "data/cab_generator.h"     // IWYU pragma: export
 #include "data/checkin_generator.h" // IWYU pragma: export
+#include "data/commute_generator.h" // IWYU pragma: export
 #include "data/csv.h"               // IWYU pragma: export
 #include "data/dataset.h"           // IWYU pragma: export
 #include "data/dataset_io.h"        // IWYU pragma: export
@@ -61,10 +62,11 @@
 #include "baselines/gm.h"       // IWYU pragma: export
 #include "baselines/st_link.h"  // IWYU pragma: export
 
-#include "eval/links_io.h"  // IWYU pragma: export
-#include "eval/metrics.h"   // IWYU pragma: export
-#include "eval/report.h"    // IWYU pragma: export
-#include "eval/runner.h"    // IWYU pragma: export
-#include "eval/table.h"     // IWYU pragma: export
+#include "eval/links_io.h"    // IWYU pragma: export
+#include "eval/metrics.h"     // IWYU pragma: export
+#include "eval/report.h"      // IWYU pragma: export
+#include "eval/robustness.h"  // IWYU pragma: export
+#include "eval/runner.h"      // IWYU pragma: export
+#include "eval/table.h"       // IWYU pragma: export
 
 #endif  // SLIM_SLIM_H_

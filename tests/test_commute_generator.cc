@@ -1,0 +1,206 @@
+#include "data/commute_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/cell_id.h"
+#include "geo/latlng.h"
+
+namespace slim {
+namespace {
+
+CommuteGeneratorOptions SmallCommute() {
+  CommuteGeneratorOptions opt;
+  opt.num_commuters = 30;
+  opt.duration_days = 7.0;  // one full weekly cycle: 5 weekdays + weekend
+  return opt;
+}
+
+// Day-of-week of a timestamp under the generator's epoch convention
+// (start_epoch is a Monday, so day k has dow k % 7 with 0 = Monday).
+int DayOfWeek(const CommuteGeneratorOptions& opt, int64_t ts) {
+  return static_cast<int>(((ts - opt.start_epoch) / 86400) % 7);
+}
+
+double HourOfDay(const CommuteGeneratorOptions& opt, int64_t ts) {
+  return static_cast<double>((ts - opt.start_epoch) % 86400) / 3600.0;
+}
+
+TEST(CommuteGenerator, ProducesAllCommuters) {
+  // Every agent pings at home overnight regardless of schedule draws.
+  const LocationDataset ds = GenerateCommuteDataset(SmallCommute());
+  EXPECT_EQ(ds.num_entities(), 30u);
+}
+
+TEST(CommuteGenerator, DeterministicForSeed) {
+  const LocationDataset a = GenerateCommuteDataset(SmallCommute());
+  const LocationDataset b = GenerateCommuteDataset(SmallCommute());
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(CommuteGenerator, SeedChangesOutput) {
+  CommuteGeneratorOptions opt = SmallCommute();
+  const LocationDataset a = GenerateCommuteDataset(opt);
+  opt.seed = 1000;
+  const LocationDataset b = GenerateCommuteDataset(opt);
+  EXPECT_NE(a.records(), b.records());
+}
+
+TEST(CommuteGenerator, RecordsStayInsideMetroBox) {
+  const CommuteGeneratorOptions opt = SmallCommute();
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  for (const Record& r : ds.records()) {
+    EXPECT_GE(r.location.lat_deg, opt.lat_lo);
+    EXPECT_LE(r.location.lat_deg, opt.lat_hi);
+    EXPECT_GE(r.location.lng_deg, opt.lng_lo);
+    EXPECT_LE(r.location.lng_deg, opt.lng_hi);
+  }
+}
+
+TEST(CommuteGenerator, TimestampsInsideDuration) {
+  const CommuteGeneratorOptions opt = SmallCommute();
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  const auto [lo, hi] = ds.TimeRange();
+  EXPECT_GE(lo, opt.start_epoch);
+  EXPECT_LE(hi, opt.start_epoch +
+                    static_cast<int64_t>(opt.duration_days * 86400.0));
+}
+
+TEST(CommuteGenerator, MovementIsPhysicallyConsistent) {
+  // With GPS noise off, consecutive records of one commuter must respect
+  // the fastest modal speed — including across day boundaries (a late
+  // trip must not overlap the next morning's home pings). This is the
+  // property alibi detection relies on.
+  CommuteGeneratorOptions opt = SmallCommute();
+  opt.gps_noise_meters = 0.0;
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  const double max_speed = opt.drive_max_speed_kmh / 3.6;  // m/s
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    for (size_t k = 1; k < recs.size(); ++k) {
+      const double dt =
+          static_cast<double>(recs[k].timestamp - recs[k - 1].timestamp);
+      if (dt <= 0) continue;
+      const double dd =
+          HaversineMeters(recs[k - 1].location, recs[k].location);
+      EXPECT_LE(dd / dt, max_speed * 1.05)
+          << "commuter " << e << " jumped " << dd << " m in " << dt << " s";
+    }
+  }
+}
+
+TEST(CommuteGenerator, WeekdayHomeWorkBimodality) {
+  // The defining signature of a commuter: overnight records and weekday
+  // midday records cluster at two well-separated anchors.
+  CommuteGeneratorOptions opt = SmallCommute();
+  opt.gps_noise_meters = 0.0;
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  size_t bimodal = 0, counted = 0;
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    std::vector<LatLng> night, midday;
+    for (const Record& r : recs) {
+      if (DayOfWeek(opt, r.timestamp) >= 5) continue;  // weekdays only
+      const double hour = HourOfDay(opt, r.timestamp);
+      if (hour < 5.0) night.push_back(r.location);
+      if (hour >= 11.0 && hour < 16.0) midday.push_back(r.location);
+    }
+    if (night.empty() || midday.size() < 3) continue;
+    ++counted;
+    // Midday records include the lunch break, so compare against the
+    // per-agent midday mode rather than the mean.
+    std::unordered_map<uint64_t, size_t> cells;
+    for (const LatLng& p : midday) ++cells[CellId::FromLatLng(p, 16).raw()];
+    uint64_t top_cell = 0;
+    size_t top = 0;
+    for (const auto& [cell, count] : cells) {
+      if (count > top) top = count, top_cell = cell;
+    }
+    LatLng work{0, 0};
+    for (const LatLng& p : midday) {
+      if (CellId::FromLatLng(p, 16).raw() == top_cell) {
+        work = p;
+        break;
+      }
+    }
+    if (HaversineMeters(night.front(), work) > 1000.0) ++bimodal;
+  }
+  ASSERT_GT(counted, 20u);
+  EXPECT_GT(static_cast<double>(bimodal) / static_cast<double>(counted),
+            0.8);
+}
+
+TEST(CommuteGenerator, WorkCentersAreSharedAcrossCommuters) {
+  // Many commuters share few employment centers — the venue reuse that
+  // gives the similarity score's IDF term its contrast. Count distinct
+  // agents per coarse cell during weekday working hours.
+  const CommuteGeneratorOptions opt = SmallCommute();
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  std::unordered_map<uint64_t, std::unordered_set<EntityId>> agents_per_cell;
+  for (const Record& r : ds.records()) {
+    if (DayOfWeek(opt, r.timestamp) >= 5) continue;
+    const double hour = HourOfDay(opt, r.timestamp);
+    if (hour < 11.0 || hour >= 16.0) continue;
+    agents_per_cell[CellId::FromLatLng(r.location, 12).raw()].insert(
+        r.entity);
+  }
+  size_t max_agents = 0;
+  for (const auto& [cell, agents] : agents_per_cell) {
+    max_agents = std::max(max_agents, agents.size());
+  }
+  // Zipf(1.0) over 8 centers sends well over an even share to the top one.
+  EXPECT_GE(max_agents, 5u);
+}
+
+TEST(CommuteGenerator, WeekendExcursionsLeaveTheCommuteAxis) {
+  // On weekends agents visit shared POIs: some records must fall far from
+  // both overnight anchor and weekday workplace.
+  CommuteGeneratorOptions opt = SmallCommute();
+  opt.gps_noise_meters = 0.0;
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  size_t excursion_records = 0;
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    const LatLng home = recs.front().location;
+    for (const Record& r : recs) {
+      if (DayOfWeek(opt, r.timestamp) < 5) continue;
+      if (HaversineMeters(home, r.location) > 2000.0) {
+        ++excursion_records;
+        break;  // one travelling weekend record per agent is enough
+      }
+    }
+  }
+  // Poisson(1.2) excursions per weekend day over 30 agents and 2 weekend
+  // days: nearly every agent leaves home at least once.
+  EXPECT_GE(excursion_records, 15u);
+}
+
+TEST(CommuteGenerator, DwellSamplingIsSparserThanTripSampling) {
+  // The motion-triggered duty cycle: gaps while dwelling are much longer
+  // than gaps while travelling, so both cadences must appear.
+  const CommuteGeneratorOptions opt = SmallCommute();
+  const LocationDataset ds = GenerateCommuteDataset(opt);
+  size_t trip_gaps = 0, dwell_gaps = 0;
+  for (EntityId e : ds.entity_ids()) {
+    const auto recs = ds.RecordsOf(e);
+    for (size_t k = 1; k < recs.size(); ++k) {
+      const int64_t gap = recs[k].timestamp - recs[k - 1].timestamp;
+      if (gap <= static_cast<int64_t>(2 * opt.trip_interval_seconds)) {
+        ++trip_gaps;
+      } else if (gap >=
+                 static_cast<int64_t>(0.5 * opt.dwell_interval_seconds)) {
+        ++dwell_gaps;
+      }
+    }
+  }
+  EXPECT_GT(trip_gaps, 100u);
+  EXPECT_GT(dwell_gaps, 100u);
+}
+
+}  // namespace
+}  // namespace slim

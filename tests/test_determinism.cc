@@ -9,6 +9,7 @@
 // (tests/golden/): a core refactor that changes any link score by even one
 // ULP fails here.
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -307,6 +308,60 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelGoldenLinks,
                          [](const auto& info) {
                            return std::string(ScoreKernelName(info.param));
                          });
+
+// ---- Commute-generator golden: seeded byte-stability. ----
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// The exact options tests/golden/commute_small.csv was generated with
+// (slim_generate --workload commute --entities 8 --days 2 --seed 44).
+CommuteGeneratorOptions GoldenCommuteOptions() {
+  CommuteGeneratorOptions opt;
+  opt.num_commuters = 8;
+  opt.duration_days = 2.0;  // seed stays at the default 44
+  return opt;
+}
+
+TEST(GoldenCommute, DatasetIsByteStable) {
+  // Regenerating the committed golden must reproduce it byte for byte: any
+  // change to the generator's sampling order, RNG, or the CSV writer's
+  // formatting fails here and demands a deliberate golden refresh.
+  const LocationDataset ds = GenerateCommuteDataset(GoldenCommuteOptions());
+  const std::string path = ::testing::TempDir() + "commute_small_regen.csv";
+  const Status st = WriteDataset(ds, path, DatasetFormat::kCsv);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(ReadFileBytes(path),
+            ReadFileBytes(GoldenPath("commute_small.csv")));
+}
+
+TEST(GoldenCommute, LinkageIsThreadCountInvariant) {
+  // The commute workload joins the determinism matrix: an experiment
+  // sampled from the committed golden must link bit-identically at every
+  // thread count.
+  auto master = ReadDataset(GoldenPath("commute_small.csv"), "commute");
+  ASSERT_TRUE(master.ok()) << master.status().ToString();
+  PairSampleOptions sampling;
+  sampling.seed = 9;
+  auto sample = SampleLinkedPair(*master, sampling);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+
+  SlimConfig config;
+  config.threads = 1;
+  auto reference = SlimLinker(config).Link(sample->a, sample->b);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_GT(reference->links.size(), 0u);
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    auto result = SlimLinker(config).Link(sample->a, sample->b);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectIdenticalResults(*reference, *result, threads);
+  }
+}
 
 }  // namespace
 }  // namespace slim

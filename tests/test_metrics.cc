@@ -1,5 +1,9 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace slim {
@@ -109,6 +113,86 @@ TEST(HitPrecision, TieBreaksTowardSmallerId) {
 TEST(HitPrecision, EmptyEntityListIsZero) {
   EXPECT_DOUBLE_EQ(HitPrecisionAtK(BipartiteGraph{}, {}, GroundTruth{}, 10),
                    0.0);
+}
+
+// ---- Metamorphic properties of EvaluateLinks. ----
+//
+// The robustness sweep trusts these invariances; pin them on a mixed link
+// set (true positives, wrong-partner and off-truth false positives, missed
+// truth pairs).
+
+const GroundTruth& MixedTruth() {
+  static const GroundTruth truth =
+      MakeTruth({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}});
+  return truth;
+}
+
+std::vector<LinkedEntityPair> MixedLinks() {
+  return {
+      {1, 10, 5.0},  // TP
+      {2, 20, 4.0},  // TP
+      {3, 30, 3.0},  // TP
+      {4, 99, 2.0},  // FP: wrong partner
+      {9, 50, 1.0},  // FP: not a truth entity
+  };
+}
+
+void ExpectSameQuality(const LinkageQuality& a, const LinkageQuality& b) {
+  EXPECT_EQ(a.true_positives, b.true_positives);
+  EXPECT_EQ(a.false_positives, b.false_positives);
+  EXPECT_EQ(a.false_negatives, b.false_negatives);
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+  EXPECT_DOUBLE_EQ(a.recall, b.recall);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+}
+
+TEST(EvaluateLinksMetamorphic, InvariantUnderLinkListPermutation) {
+  const LinkageQuality reference = EvaluateLinks(MixedLinks(), MixedTruth());
+  std::vector<LinkedEntityPair> links = MixedLinks();
+  std::reverse(links.begin(), links.end());
+  ExpectSameQuality(reference, EvaluateLinks(links, MixedTruth()));
+  std::mt19937 rng(12345);
+  for (int round = 0; round < 10; ++round) {
+    std::shuffle(links.begin(), links.end(), rng);
+    ExpectSameQuality(reference, EvaluateLinks(links, MixedTruth()));
+  }
+}
+
+TEST(EvaluateLinksMetamorphic, RemovingATrueLinkNeverImprovesF1) {
+  const std::vector<LinkedEntityPair> links = MixedLinks();
+  const LinkageQuality reference = EvaluateLinks(links, MixedTruth());
+  for (size_t drop = 0; drop < links.size(); ++drop) {
+    if (!MixedTruth().AreLinked(links[drop].u, links[drop].v)) continue;
+    std::vector<LinkedEntityPair> fewer = links;
+    fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(drop));
+    const LinkageQuality q = EvaluateLinks(fewer, MixedTruth());
+    EXPECT_LT(q.f1, reference.f1) << "dropped true link " << drop;
+    EXPECT_LT(q.recall, reference.recall);
+  }
+}
+
+TEST(EvaluateLinksMetamorphic, RemovingAFalseLinkNeverHurtsF1) {
+  const std::vector<LinkedEntityPair> links = MixedLinks();
+  const LinkageQuality reference = EvaluateLinks(links, MixedTruth());
+  for (size_t drop = 0; drop < links.size(); ++drop) {
+    if (MixedTruth().AreLinked(links[drop].u, links[drop].v)) continue;
+    std::vector<LinkedEntityPair> fewer = links;
+    fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(drop));
+    const LinkageQuality q = EvaluateLinks(fewer, MixedTruth());
+    EXPECT_GE(q.f1, reference.f1) << "dropped false link " << drop;
+    EXPECT_DOUBLE_EQ(q.recall, reference.recall);
+  }
+}
+
+TEST(EvaluateLinksMetamorphic, SymmetricUnderSideSwap) {
+  // Swapping the roles of the two datasets — every link (u, v) -> (v, u)
+  // and the truth map inverted — must leave all counts and rates intact.
+  std::vector<LinkedEntityPair> swapped = MixedLinks();
+  for (LinkedEntityPair& link : swapped) std::swap(link.u, link.v);
+  GroundTruth inverted;
+  for (const auto& [a, b] : MixedTruth().a_to_b) inverted.a_to_b[b] = a;
+  ExpectSameQuality(EvaluateLinks(MixedLinks(), MixedTruth()),
+                    EvaluateLinks(swapped, inverted));
 }
 
 }  // namespace

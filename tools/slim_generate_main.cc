@@ -19,8 +19,9 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: slim_generate --workload cab|sm --out master.csv [options]\n"
-      "       slim_generate --workload cab|sm --experiment "
+      "usage: slim_generate --workload cab|sm|commute --out master.csv "
+      "[options]\n"
+      "       slim_generate --workload cab|sm|commute --experiment "
       "--out_prefix PFX [options]\n"
       "       slim_generate --preset sm100k --out_prefix PFX [options]\n"
       "options:\n"
@@ -42,6 +43,7 @@ struct GenerateDefaults {
   const char* workload = "";
   long long entities_cab = 100;
   long long entities_sm = 2000;
+  long long entities_commute = 400;
   long long side_entities = 0;
   bool experiment = false;
 };
@@ -66,8 +68,16 @@ slim::LocationDataset Generate(const slim::tools::Flags& flags,
     opt.seed = seed;
     return slim::GenerateCheckinDataset(opt);
   }
+  if (workload == "commute") {
+    slim::CommuteGeneratorOptions opt;
+    opt.num_commuters =
+        static_cast<int>(flags.GetInt("entities", defaults.entities_commute));
+    opt.duration_days = flags.GetDouble("days", 14.0);
+    opt.seed = seed;
+    return slim::GenerateCommuteDataset(opt);
+  }
   slim::tools::Flags::Fail("unknown --workload: " + workload +
-                           " (expected cab|sm)");
+                           " (expected cab|sm|commute)");
 }
 
 }  // namespace

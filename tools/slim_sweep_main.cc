@@ -1,0 +1,286 @@
+// slim_sweep: robustness sweeps over parameterized data degradations.
+//
+// Generates (or loads) a linked dataset pair, then re-runs the full SLIM
+// pipeline while one degradation axis at a time tightens — GPS noise,
+// temporal downsampling, asymmetric entity density, record truncation —
+// and records the precision/recall/F1 curve per axis.
+//
+//   # default: commute + sm workloads, all four axes, full grids
+//   slim_sweep --out BENCH_sweep.json --report sweep.md
+//
+//   # CI quick gate: coarse grids, fail unless the commute baseline
+//   # (zero degradation) reaches F1 0.95
+//   slim_sweep --quick --gate_f1 0.95 --gate_workload commute \
+//              --out BENCH_sweep_quick.json
+//
+//   # sweep a pre-generated experiment instead of a synthetic workload
+//   slim_sweep --a exp_a.csv --b exp_b.csv --truth exp_truth.csv --out s.json
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flags.h"
+#include "slim.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: slim_sweep --out sweep.json [options]\n"
+      "       slim_sweep --a A.csv --b B.csv --truth T.csv --out sweep.json\n"
+      "options:\n"
+      "  --workloads LIST   comma list of commute|sm|cab (default "
+      "commute,sm)\n"
+      "  --axes LIST        comma list of noise|downsample|density|truncate\n"
+      "                     (default: all four)\n"
+      "  --quick            coarse grids and smaller workloads (CI gate)\n"
+      "  --gate_f1 X        exit 1 unless every gated workload's baseline\n"
+      "                     F1 >= X (default 0 = no gate)\n"
+      "  --gate_workload W  apply --gate_f1 to workload W only\n"
+      "                     (default: every workload swept)\n"
+      "  --report PATH      also write the markdown curve tables\n"
+      "  --entities N       override the master workload entity count\n"
+      "  --days D           override the collection duration\n"
+      "  --intersection R   entity intersection ratio (default 0.5)\n"
+      "  --inclusion P      record inclusion probability (default 0.5)\n"
+      "  --seed S           sweep seed (default 2024)\n"
+      "  --candidates KIND  candidate generator: lsh|brute|grid (default "
+      "lsh)\n"
+      "  --threads N        worker threads (default: SLIM_THREADS env)\n"
+      "  --shards K         run every point through the sharded driver\n"
+      "  --min_records N    drop entities with fewer records (default 6)\n");
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+slim::DegradationAxis ParseAxis(const std::string& name) {
+  if (name == "noise") return slim::DegradationAxis::kGpsNoise;
+  if (name == "downsample") return slim::DegradationAxis::kDownsample;
+  if (name == "density") return slim::DegradationAxis::kEntityDrop;
+  if (name == "truncate") return slim::DegradationAxis::kTruncate;
+  slim::tools::Flags::Fail(
+      "unknown axis: " + name +
+      " (expected noise|downsample|density|truncate)");
+}
+
+// Grid of degradation values per axis. Every grid starts at the identity
+// value so each curve embeds its own zero-degradation point.
+std::vector<double> AxisGrid(slim::DegradationAxis axis, bool quick) {
+  switch (axis) {
+    case slim::DegradationAxis::kGpsNoise:
+      return quick ? std::vector<double>{0.0, 50.0, 200.0}
+                   : std::vector<double>{0.0, 25.0, 50.0, 100.0, 200.0, 400.0};
+    case slim::DegradationAxis::kDownsample:
+      return quick ? std::vector<double>{1.0, 0.5, 0.25}
+                   : std::vector<double>{1.0, 0.75, 0.5, 0.25, 0.1};
+    case slim::DegradationAxis::kEntityDrop:
+      return quick ? std::vector<double>{1.0, 0.6, 0.3}
+                   : std::vector<double>{1.0, 0.8, 0.6, 0.4, 0.2};
+    case slim::DegradationAxis::kTruncate:
+      return quick ? std::vector<double>{1.0, 0.5, 0.25}
+                   : std::vector<double>{1.0, 0.75, 0.5, 0.25};
+  }
+  return {};
+}
+
+slim::LocationDataset GenerateWorkload(const std::string& name,
+                                       const slim::tools::Flags& flags,
+                                       bool quick, uint64_t seed) {
+  if (name == "commute") {
+    slim::CommuteGeneratorOptions opt =
+        slim::CommuteOptionsForScale(slim::BenchScale::kSmall);
+    if (quick) {
+      opt.num_commuters = 60;
+      opt.duration_days = 5.0;
+    }
+    opt.num_commuters =
+        static_cast<int>(flags.GetInt("entities", opt.num_commuters));
+    opt.duration_days = flags.GetDouble("days", opt.duration_days);
+    opt.seed = seed;
+    return slim::GenerateCommuteDataset(opt);
+  }
+  if (name == "sm") {
+    slim::CheckinGeneratorOptions opt =
+        slim::CheckinOptionsForScale(slim::BenchScale::kSmall);
+    if (quick) opt.num_users = 600;
+    opt.num_users = static_cast<int>(flags.GetInt("entities", opt.num_users));
+    opt.seed = seed;
+    return slim::GenerateCheckinDataset(opt);
+  }
+  if (name == "cab") {
+    slim::CabGeneratorOptions opt =
+        slim::CabOptionsForScale(slim::BenchScale::kSmall);
+    if (quick) {
+      opt.num_taxis = 40;
+      opt.duration_days = 2.0;
+    }
+    opt.num_taxis = static_cast<int>(flags.GetInt("entities", opt.num_taxis));
+    opt.duration_days = flags.GetDouble("days", opt.duration_days);
+    opt.seed = seed;
+    return slim::GenerateCabDataset(opt);
+  }
+  slim::tools::Flags::Fail("unknown workload: " + name +
+                           " (expected commute|sm|cab)");
+}
+
+slim::SweepWorkloadResult SweepPair(
+    const std::string& name, const slim::LocationDataset& a,
+    const slim::LocationDataset& b, const slim::GroundTruth& truth,
+    const std::vector<slim::DegradationAxis>& axes, bool quick,
+    const slim::SweepOptions& options) {
+  slim::SweepWorkloadResult wl;
+  wl.workload = name;
+  wl.truth_pairs = truth.size();
+  // Identity point: gps noise 0 leaves every knob at its no-op value.
+  wl.baseline = slim::RunSweepPoint(a, b, truth,
+                                    slim::DegradationAxis::kGpsNoise, 0.0,
+                                    options);
+  std::fprintf(stderr,
+               "[%s] baseline: precision %.4f recall %.4f f1 %.4f "
+               "(%zu links / %zu truth pairs, %.2fs)\n",
+               name.c_str(), wl.baseline.quality.precision,
+               wl.baseline.quality.recall, wl.baseline.quality.f1,
+               wl.baseline.links, wl.truth_pairs, wl.baseline.seconds);
+  for (const slim::DegradationAxis axis : axes) {
+    const std::vector<double> grid = AxisGrid(axis, quick);
+    slim::SweepCurve curve =
+        slim::RunDegradationSweep(a, b, truth, axis, grid, options);
+    for (const slim::SweepPoint& p : curve.points) {
+      std::fprintf(stderr, "[%s] %s=%g: f1 %.4f (%.2fs)\n", name.c_str(),
+                   slim::DegradationAxisName(axis), p.value, p.quality.f1,
+                   p.seconds);
+    }
+    wl.curves.push_back(std::move(curve));
+  }
+  return wl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  slim::tools::Flags flags(argc, argv);
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    Usage();
+    return 2;
+  }
+  const bool quick = flags.GetBool("quick", false);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2024));
+
+  std::vector<slim::DegradationAxis> axes;
+  const std::string axes_flag =
+      flags.GetString("axes", "noise,downsample,density,truncate");
+  for (const std::string& name : SplitList(axes_flag)) {
+    axes.push_back(ParseAxis(name));
+  }
+  if (axes.empty()) slim::tools::Flags::Fail("--axes selects no axis");
+
+  slim::SweepOptions options;
+  options.seed = seed;
+  options.min_records = static_cast<size_t>(flags.GetInt("min_records", 6));
+  auto candidates =
+      slim::ParseCandidateKind(flags.GetString("candidates", "lsh"));
+  if (!candidates.ok()) {
+    slim::tools::Flags::Fail(candidates.status().ToString());
+  }
+  options.config.candidates = *candidates;
+  options.config.threads = static_cast<int>(flags.GetInt("threads", 0));
+  options.config.shards = static_cast<int>(flags.GetInt("shards", 0));
+
+  std::vector<slim::SweepWorkloadResult> results;
+  const std::string path_a = flags.GetString("a", "");
+  if (!path_a.empty()) {
+    // Loaded-pair mode: sweep a pre-generated experiment.
+    const std::string path_b = flags.GetString("b", "");
+    const std::string path_truth = flags.GetString("truth", "");
+    if (path_b.empty() || path_truth.empty()) {
+      Usage();
+      return 2;
+    }
+    auto a = slim::ReadDataset(path_a, "A");
+    if (!a.ok()) slim::tools::Flags::Fail(a.status().ToString());
+    auto b = slim::ReadDataset(path_b, "B");
+    if (!b.ok()) slim::tools::Flags::Fail(b.status().ToString());
+    auto truth_links = slim::ReadLinksCsv(path_truth);
+    if (!truth_links.ok()) {
+      slim::tools::Flags::Fail(truth_links.status().ToString());
+    }
+    slim::GroundTruth truth;
+    for (const slim::LinkedEntityPair& pair : *truth_links) {
+      truth.a_to_b[pair.u] = pair.v;
+    }
+    results.push_back(
+        SweepPair("custom", *a, *b, truth, axes, quick, options));
+  } else {
+    for (const std::string& name :
+         SplitList(flags.GetString("workloads", "commute,sm"))) {
+      const slim::LocationDataset master =
+          GenerateWorkload(name, flags, quick, seed);
+      slim::PairSampleOptions sample_options;
+      sample_options.intersection_ratio =
+          flags.GetDouble("intersection", 0.5);
+      sample_options.inclusion_probability =
+          flags.GetDouble("inclusion", 0.5);
+      sample_options.seed = seed + 1;
+      auto sample = slim::SampleLinkedPair(master, sample_options);
+      if (!sample.ok()) slim::tools::Flags::Fail(sample.status().ToString());
+      results.push_back(SweepPair(name, sample->a, sample->b, sample->truth,
+                                  axes, quick, options));
+    }
+  }
+  if (results.empty()) {
+    slim::tools::Flags::Fail("--workloads selects no workload");
+  }
+
+  const slim::Status st =
+      slim::WriteSweepJson(results, quick, seed, out_path);
+  if (!st.ok()) slim::tools::Flags::Fail(st.ToString());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  const std::string report_path = flags.GetString("report", "");
+  if (!report_path.empty()) {
+    const std::string md = slim::RenderSweepReport(results);
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f == nullptr) slim::tools::Flags::Fail("cannot write " + report_path);
+    std::fwrite(md.data(), 1, md.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", report_path.c_str());
+  }
+
+  // Quality gate: the zero-degradation baseline must clear --gate_f1.
+  const double gate_f1 = flags.GetDouble("gate_f1", 0.0);
+  if (gate_f1 > 0.0) {
+    const std::string gate_workload = flags.GetString("gate_workload", "");
+    bool gate_seen = false;
+    bool gate_ok = true;
+    for (const slim::SweepWorkloadResult& wl : results) {
+      if (!gate_workload.empty() && wl.workload != gate_workload) continue;
+      gate_seen = true;
+      if (wl.baseline.quality.f1 < gate_f1) {
+        std::fprintf(stderr, "GATE FAIL: %s baseline F1 %.4f < %.4f\n",
+                     wl.workload.c_str(), wl.baseline.quality.f1, gate_f1);
+        gate_ok = false;
+      } else {
+        std::fprintf(stderr, "gate ok: %s baseline F1 %.4f >= %.4f\n",
+                     wl.workload.c_str(), wl.baseline.quality.f1, gate_f1);
+      }
+    }
+    if (!gate_seen) {
+      slim::tools::Flags::Fail("--gate_workload " + gate_workload +
+                               " was not swept");
+    }
+    if (!gate_ok) return 1;
+  }
+  return 0;
+}
