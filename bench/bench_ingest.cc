@@ -53,13 +53,8 @@ struct IngestRunRecord {
 
 std::vector<IngestRunRecord> ParseIngestRuns(const std::string& json) {
   std::vector<IngestRunRecord> runs;
-  auto number_after = [&](size_t pos) -> double {
-    while (pos < json.size() &&
-           (std::isspace(static_cast<unsigned char>(json[pos])) != 0 ||
-            json[pos] == ':')) {
-      ++pos;
-    }
-    return pos < json.size() ? std::strtod(json.c_str() + pos, nullptr) : -1.0;
+  auto number_after = [&](size_t pos) {
+    return bench::ParseNumberAt(json, pos);
   };
   size_t pos = 0;
   while ((pos = json.find("\"op\"", pos)) != std::string::npos) {

@@ -203,9 +203,8 @@ std::vector<KernelRunRecord> ParseKernelRuns(const std::string& json) {
   };
   auto number_after = [&](size_t pos) -> double {
     pos = json.find(':', pos);
-    return pos == std::string::npos
-               ? -1.0
-               : std::strtod(json.c_str() + pos + 1, nullptr);
+    return pos == std::string::npos ? -1.0
+                                    : bench::ParseNumberAt(json, pos + 1);
   };
   size_t pos = 0;
   while ((pos = json.find("\"op\"", pos)) != std::string::npos) {

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,6 +16,25 @@
 #include "slim.h"
 
 namespace slim::bench {
+
+/// Parses the number starting at `pos` in a bench JSON blob (skipping any
+/// leading spaces and one ':'), returning `fallback` when none is there.
+/// std::from_chars keeps this locale-independent: the records are written
+/// with to_chars, and a comma-decimal global locale must not change how
+/// they read back (strtod would, SLIM-DET-004).
+inline double ParseNumberAt(const std::string& json, size_t pos,
+                            double fallback = -1.0) {
+  while (pos < json.size() &&
+         (std::isspace(static_cast<unsigned char>(json[pos])) != 0 ||
+          json[pos] == ':')) {
+    ++pos;
+  }
+  double value = fallback;
+  if (pos < json.size()) {
+    std::from_chars(json.data() + pos, json.data() + json.size(), value);
+  }
+  return value;
+}
 
 /// Prints the standard figure header with the bench scale.
 inline void PrintHeader(const char* figure, const char* what,
@@ -218,7 +238,10 @@ inline bool ParseBenchSchema(const std::string& json, BenchSchema* out) {
     if (std::isdigit(static_cast<unsigned char>(value[k])) == 0) return false;
   }
   out->family = value.substr(0, dash);
-  out->version = std::atoi(value.c_str() + dash + 2);
+  int version = 0;
+  std::from_chars(value.data() + dash + 2, value.data() + value.size(),
+                  version);
+  out->version = version;
   return true;
 }
 
@@ -302,14 +325,7 @@ inline std::vector<PipelineRunRecord> ParsePipelineRuns(
     const std::string& json) {
   WarnUnknownBenchKeys(json);
   std::vector<PipelineRunRecord> runs;
-  auto number_after = [&](size_t pos) -> double {
-    while (pos < json.size() &&
-           (std::isspace(static_cast<unsigned char>(json[pos])) != 0 ||
-            json[pos] == ':')) {
-      ++pos;
-    }
-    return pos < json.size() ? std::strtod(json.c_str() + pos, nullptr) : -1.0;
-  };
+  auto number_after = [&](size_t pos) { return ParseNumberAt(json, pos); };
   // Parses the flat { "name": number, ... } object whose key starts at
   // `object_key_pos` into `out`; returns the position of its '}'.
   auto parse_stage_object =

@@ -128,25 +128,50 @@ Result<StLinkResult> StLinkLinker::Link(
       },
       threads);
 
-  // Merge shards (left indices are disjoint across shards, so no key ever
-  // collides; still merge defensively).
-  std::unordered_map<uint64_t, PairStats> pairs;
+  // Drain the shards into one key-sorted vector. Every traversal below is
+  // result-producing (graph edges, qualifying pairs, links), so the order
+  // must come from the (left, right) key, never from hash-table layout.
+  std::vector<std::pair<uint64_t, PairStats>> sorted_pairs;
+  {
+    size_t total = 0;
+    for (const Shard& s : shards) total += s.pairs.size();
+    sorted_pairs.reserve(total);
+  }
   for (Shard& s : shards) {
     result.record_comparisons += s.comparisons;
+    // Drain order is irrelevant: the vector is key-sorted before any
+    // result-producing traversal.
+    // slim-lint: allow(SLIM-DET-001, drained then key-sorted below)
     for (auto& [key, ps] : s.pairs) {
-      auto [it, inserted] = pairs.try_emplace(key, std::move(ps));
-      if (!inserted) {
-        it->second.cooccurrences += ps.cooccurrences;
-        it->second.alibis += ps.alibis;
-        it->second.diverse_cells.insert(ps.diverse_cells.begin(),
-                                        ps.diverse_cells.end());
+      sorted_pairs.emplace_back(key, std::move(ps));
+    }
+  }
+  std::sort(sorted_pairs.begin(), sorted_pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Left indices partition across shards, so keys are unique; merge
+  // adjacent duplicates defensively anyway.
+  {
+    size_t w = 0;
+    for (size_t r = 0; r < sorted_pairs.size(); ++r) {
+      if (w > 0 && sorted_pairs[w - 1].first == sorted_pairs[r].first) {
+        PairStats& dst = sorted_pairs[w - 1].second;
+        PairStats& src = sorted_pairs[r].second;
+        dst.cooccurrences += src.cooccurrences;
+        dst.alibis += src.alibis;
+        // slim-lint: allow(SLIM-DET-001, set union is order-insensitive)
+        dst.diverse_cells.insert(src.diverse_cells.begin(),
+                                 src.diverse_cells.end());
+      } else {
+        if (w != r) sorted_pairs[w] = std::move(sorted_pairs[r]);
+        ++w;
       }
     }
+    sorted_pairs.resize(w);
   }
 
   // Auto-detect k and l when requested.
   std::vector<uint32_t> k_values, l_values;
-  for (const auto& [key, ps] : pairs) {
+  for (const auto& [key, ps] : sorted_pairs) {
     if (ps.cooccurrences > 0) {
       k_values.push_back(ps.cooccurrences);
       l_values.push_back(static_cast<uint32_t>(ps.diverse_cells.size()));
@@ -160,9 +185,11 @@ Result<StLinkResult> StLinkLinker::Link(
                       : DetectMinimum(l_values, /*fallback=*/2);
 
   // Qualifying pairs + candidate graph (weights = co-occurrence counts).
-  std::unordered_map<EntityId, std::vector<EntityId>> quals_by_u;
-  std::unordered_map<EntityId, std::vector<EntityId>> quals_by_v;
-  for (const auto& [key, ps] : pairs) {
+  // std::map: the loops over these feed result.links and the ambiguity
+  // census, so their iteration order is part of the output contract.
+  std::map<EntityId, std::vector<EntityId>> quals_by_u;
+  std::map<EntityId, std::vector<EntityId>> quals_by_v;
+  for (const auto& [key, ps] : sorted_pairs) {
     const EntityId u =
         lefts[static_cast<size_t>(key >> 32)].entity();
     const EntityId v =

@@ -62,6 +62,7 @@ ThreadPool::~ThreadPool() {
 ThreadPool& ThreadPool::Shared() {
   // Intentionally leaked: worker threads must not be joined during static
   // destruction (library code may run parallel stages until process exit).
+  // slim-lint: allow(SLIM-HYG-101, intentional leaked singleton)
   static ThreadPool* pool = new ThreadPool();
   return *pool;
 }

@@ -117,13 +117,22 @@ Result<LinkedPairSample> SampleLinkedPair(const LocationDataset& master,
     b_ids[side_b_master[i]] = static_cast<EntityId>(order_b[i]);
   }
 
-  Rng rec_rng_a = rng.Fork(1);
-  Rng rec_rng_b = rng.Fork(2);
-  for (const auto& [master_id, new_id] : a_ids) {
-    EmitRecords(master, master_id, new_id, options, &out.a, &rec_rng_a);
+  // Each (side, master entity) gets its own forked record stream, so the
+  // emitted bytes are independent of emission order entirely. The previous
+  // code consumed one shared RNG while iterating a_ids/b_ids — an
+  // unordered_map — which made the generated datasets depend on the
+  // standard library's hash-table layout (SLIM-DET-001): the same seed
+  // produced different records on different toolchains. Streams 2m+1 /
+  // 2m+2 for master id m never collide across the two sides.
+  for (size_t i = 0; i < n; ++i) {
+    const EntityId m = side_a_master[i];
+    Rng rec_rng = rng.Fork(static_cast<uint64_t>(m) * 2 + 1);
+    EmitRecords(master, m, a_ids.at(m), options, &out.a, &rec_rng);
   }
-  for (const auto& [master_id, new_id] : b_ids) {
-    EmitRecords(master, master_id, new_id, options, &out.b, &rec_rng_b);
+  for (size_t i = 0; i < n; ++i) {
+    const EntityId m = side_b_master[i];
+    Rng rec_rng = rng.Fork(static_cast<uint64_t>(m) * 2 + 2);
+    EmitRecords(master, m, b_ids.at(m), options, &out.b, &rec_rng);
   }
   out.a.Finalize();
   out.b.Finalize();

@@ -131,14 +131,16 @@ WindowSegmentTree::CellCounts WindowSegmentTree::RangeCellCounts(
   Collect(root_, w_begin, w_end, &canonical);
   if (canonical.empty()) return result;
 
-  std::unordered_map<CellId, uint32_t> agg;
+  // std::map, not unordered: result is assigned straight from the
+  // aggregate, so its traversal order (sorted by cell id) is the output
+  // order DominatingCell's tie-break depends on.
+  std::map<CellId, uint32_t> agg;
   for (int node : canonical) {
     for (const auto& [cell, count] : nodes_[static_cast<size_t>(node)].counts) {
       agg[cell.Parent(spatial_level)] += count;
     }
   }
   result.assign(agg.begin(), agg.end());
-  std::sort(result.begin(), result.end());
   return result;
 }
 

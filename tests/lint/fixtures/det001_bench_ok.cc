@@ -1,0 +1,16 @@
+// Fixture: unordered iteration OUTSIDE result-producing code. Staged as
+// bench/det001_bench_ok.cc; SLIM-DET-001 is scoped to src/ and tools/,
+// so this must report nothing.
+#include <unordered_set>
+
+namespace slim {
+
+int CountBench(const std::unordered_set<int>& seen) {
+  int total = 0;
+  for (const int v : seen) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace slim

@@ -1,0 +1,16 @@
+// Fixture: the same unordered iteration, but legitimately suppressed.
+// Staged as src/core/det001_suppressed.cc; must report nothing.
+#include <unordered_set>
+
+namespace slim {
+
+int Count(const std::unordered_set<int>& seen) {
+  int total = 0;
+  // slim-lint: allow(SLIM-DET-001, pure count is order-insensitive)
+  for (const int v : seen) {
+    total += v != 0 ? 1 : 0;
+  }
+  return total;
+}
+
+}  // namespace slim

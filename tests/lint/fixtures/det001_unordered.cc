@@ -1,0 +1,30 @@
+// Fixture: iteration over unordered containers in result-producing code.
+// Staged as src/core/det001_unordered.cc; must trigger SLIM-DET-001 three
+// times (range-for over a local, range-for over a member, iterator walk).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace slim {
+
+struct Index {
+  std::unordered_map<int, int> by_id;
+};
+
+std::vector<int> Emit(const Index& index) {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  std::vector<int> out;
+  for (const int v : seen) {  // finding: local unordered_set
+    out.push_back(v);
+  }
+  for (const auto& [k, v] : index.by_id) {  // finding: unordered member
+    out.push_back(k + v);
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding: walk
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,18 @@
+// Fixture: ambient entropy sources. Staged as src/data/det002_rng.cc;
+// must trigger SLIM-DET-002 four times.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace slim {
+
+unsigned Entropy() {
+  std::random_device rd;  // finding
+  unsigned x = rd();
+  x += static_cast<unsigned>(rand());           // finding
+  x += static_cast<unsigned>(time(nullptr));    // finding
+  srand(static_cast<unsigned>(time(nullptr)));  // finding (srand)
+  return x;
+}
+
+}  // namespace slim

@@ -1,0 +1,13 @@
+// Fixture: entropy inside the rule's implementation home. Staged as
+// src/common/rng.cc, which is exempt from SLIM-DET-002; must report
+// nothing even though it touches std::random_device.
+#include <random>
+
+namespace slim {
+
+unsigned SeedFromHardware() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace slim

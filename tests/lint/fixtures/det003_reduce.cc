@@ -1,0 +1,18 @@
+// Fixture: unordered floating-point accumulation. Staged as
+// src/stats/det003_reduce.cc; must trigger SLIM-DET-003 three times.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace slim {
+
+double Total(const std::vector<double>& xs) {
+  std::atomic<double> acc{0.0};  // finding: float atomic
+  acc.store(std::reduce(xs.begin(), xs.end()));  // finding: std::reduce
+  return acc.load() +
+         std::transform_reduce(  // finding: transform_reduce
+             xs.begin(), xs.end(), 0.0, [](double a, double b) { return a + b; },
+             [](double x) { return x * x; });
+}
+
+}  // namespace slim

@@ -1,0 +1,20 @@
+// Fixture: locale-dependent numeric parse/format. Staged as
+// src/data/det004_locale.cc; must trigger SLIM-DET-004 five times.
+#include <clocale>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace slim {
+
+double Parse(const std::string& s) {
+  setlocale(LC_ALL, "de_DE.UTF-8");  // finding
+  double v = std::stod(s);           // finding
+  v += strtod(s.c_str(), nullptr);   // finding
+  v += atof(s.c_str());              // finding
+  std::stringstream ss;
+  ss.imbue(std::locale());  // finding
+  return v;
+}
+
+}  // namespace slim

@@ -1,0 +1,14 @@
+// Fixture: raw allocation in core code. Staged as
+// src/common/hyg101_alloc.cc; must trigger SLIM-HYG-101 three times.
+#include <cstdlib>
+
+namespace slim {
+
+int* Make() {
+  int* a = new int[4];  // finding: raw new[]
+  void* raw = malloc(16);  // finding: malloc
+  free(raw);  // finding: free
+  return a;
+}
+
+}  // namespace slim

@@ -1,0 +1,11 @@
+// Fixture: header with a stale copy-paste include guard. Staged as
+// src/geo/hyg102_guard.h; must trigger SLIM-HYG-102 (expected guard is
+// SLIM_GEO_HYG102_GUARD_H_).
+#ifndef SLIM_GEO_SOME_OTHER_HEADER_H_
+#define SLIM_GEO_SOME_OTHER_HEADER_H_
+
+namespace slim {
+inline int Twelve() { return 12; }
+}  // namespace slim
+
+#endif  // SLIM_GEO_SOME_OTHER_HEADER_H_

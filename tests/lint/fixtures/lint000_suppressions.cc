@@ -1,0 +1,11 @@
+// Fixture: malformed and unused suppressions. Staged as
+// src/eval/lint000_suppressions.cc; must trigger SLIM-LINT-000 three
+// times (reasonless, unknown rule id, suppression matching no finding).
+namespace slim {
+
+// slim-lint: allow(SLIM-DET-002,)
+// slim-lint: allow(SLIM-XYZ-999, no such rule)
+// slim-lint: allow(SLIM-HYG-101, nothing here allocates)
+inline int Nothing() { return 0; }
+
+}  // namespace slim

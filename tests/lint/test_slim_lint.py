@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/slim_lint.py.
+
+Each fixture under tests/lint/fixtures/ seeds one rule (or demonstrates a
+suppression / scope exemption).  The driver stages fixtures into a
+temporary tree at the path each rule is scoped to, runs the linter over
+that tree, and asserts the exact per-rule finding counts.  A final smoke
+test runs the linter over the real repository and requires a clean exit,
+so the committed tree can never drift out of compliance without failing
+ctest.
+
+Stdlib only; invoked by ctest under the `lint` label.
+"""
+
+import contextlib
+import io
+import os
+import re
+import shutil
+import sys
+import tempfile
+import unittest
+
+THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.abspath(os.path.join(THIS_DIR, os.pardir, os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import slim_lint  # noqa: E402  (path set up above)
+
+FIXTURES = os.path.join(THIS_DIR, "fixtures")
+
+FINDING_RE = re.compile(r"^(?P<rel>[^:]+):(?P<ln>\d+): \[(?P<rule>[A-Z0-9-]+)\]")
+
+# fixture file -> (staged relpath, {rule id: expected finding count}).
+# An empty dict means the staged file must lint clean.
+CASES = {
+    "det001_unordered.cc": (
+        "src/core/det001_unordered.cc", {"SLIM-DET-001": 3}),
+    "det001_suppressed.cc": ("src/core/det001_suppressed.cc", {}),
+    "det001_bench_ok.cc": ("bench/det001_bench_ok.cc", {}),
+    "det002_rng.cc": ("src/data/det002_rng.cc", {"SLIM-DET-002": 4}),
+    "det002_rng_home.cc": ("src/common/rng.cc", {}),
+    "det003_reduce.cc": ("src/stats/det003_reduce.cc", {"SLIM-DET-003": 3}),
+    "det004_locale.cc": ("src/data/det004_locale.cc", {"SLIM-DET-004": 5}),
+    "hyg101_alloc.cc": ("src/common/hyg101_alloc.cc", {"SLIM-HYG-101": 3}),
+    "hyg102_guard.h": ("src/geo/hyg102_guard.h", {"SLIM-HYG-102": 1}),
+    "lint000_suppressions.cc": (
+        "src/eval/lint000_suppressions.cc", {"SLIM-LINT-000": 3}),
+}
+
+
+def run_lint(argv):
+    """Run slim_lint.main, returning (exit code, findings, stderr text)."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        rc = slim_lint.main(argv)
+    findings = []
+    for line in out.getvalue().splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((m.group("rel"), int(m.group("ln")),
+                             m.group("rule")))
+    return rc, findings, err.getvalue()
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    """Stage every fixture into a temp tree and lint it."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.tmp = tempfile.mkdtemp(prefix="slim_lint_fixtures_")
+        for fixture, (staged, _) in CASES.items():
+            dest = os.path.join(cls.tmp, staged)
+            os.makedirs(os.path.dirname(dest), exist_ok=True)
+            shutil.copyfile(os.path.join(FIXTURES, fixture), dest)
+        cls.rc, cls.findings, cls.stderr = run_lint(["--root", cls.tmp])
+
+    @classmethod
+    def tearDownClass(cls):
+        shutil.rmtree(cls.tmp, ignore_errors=True)
+
+    def counts_for(self, staged):
+        counts = {}
+        for rel, _, rule in self.findings:
+            if rel == staged:
+                counts[rule] = counts.get(rule, 0) + 1
+        return counts
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.rc, 1, self.stderr)
+
+    def test_every_fixture_has_expected_findings(self):
+        for fixture, (staged, expected) in CASES.items():
+            with self.subTest(fixture=fixture):
+                self.assertEqual(self.counts_for(staged), expected)
+
+    def test_every_rule_id_is_exercised(self):
+        seeded = {rule for _, expected in CASES.values() for rule in expected}
+        self.assertEqual(seeded, set(slim_lint.RULES))
+
+    def test_findings_carry_real_line_numbers(self):
+        for rel, ln, _ in self.findings:
+            path = os.path.join(self.tmp, rel)
+            with open(path, encoding="utf-8") as f:
+                nlines = len(f.read().split("\n"))
+            self.assertTrue(1 <= ln <= nlines, f"{rel}:{ln}")
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_next_line_suppression_is_honored_and_consumed(self):
+        tmp = tempfile.mkdtemp(prefix="slim_lint_suppr_")
+        try:
+            dest = os.path.join(tmp, "src", "core", "s.cc")
+            os.makedirs(os.path.dirname(dest))
+            shutil.copyfile(
+                os.path.join(FIXTURES, "det001_suppressed.cc"), dest)
+            rc, findings, stderr = run_lint(["--root", tmp])
+            self.assertEqual(rc, 0, stderr)
+            self.assertEqual(findings, [])
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+class CleanTreeTest(unittest.TestCase):
+    """The committed repository must lint clean (fixtures excluded)."""
+
+    def test_repo_is_clean(self):
+        rc, findings, stderr = run_lint(["--root", REPO_ROOT])
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0, stderr)
+
+    def test_scan_covers_the_tree(self):
+        _, _, stderr = run_lint(["--root", REPO_ROOT])
+        m = re.search(r"slim_lint: (\d+) files", stderr)
+        self.assertIsNotNone(m, stderr)
+        self.assertGreater(int(m.group(1)), 100, stderr)
+
+
+class CliTest(unittest.TestCase):
+    def test_list_rules_names_every_rule(self):
+        rc, _, _ = run_lint(["--list-rules"])
+        self.assertEqual(rc, 0)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            slim_lint.main(["--list-rules"])
+        for rule in slim_lint.RULES:
+            self.assertIn(rule, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

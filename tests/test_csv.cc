@@ -329,6 +329,7 @@ TEST_F(CsvTest, RoundTripSurvivesCommaDecimalLocale) {
                                  "fr_FR.UTF-8", "fr_FR.utf8"};
   const char* active = nullptr;
   for (const char* name : comma_locales) {
+    // slim-lint: allow(SLIM-DET-004, this IS the locale regression test)
     if (std::setlocale(LC_ALL, name) != nullptr) {
       active = name;
       break;
@@ -367,6 +368,7 @@ TEST_F(CsvTest, RoundTripSurvivesCommaDecimalLocale) {
     separators_ok = separators_ok && commas == 3 &&
                     line.find('.') != std::string::npos;
   }
+  // slim-lint: allow(SLIM-DET-004, restores the locale the test flipped)
   std::setlocale(LC_ALL, "C");  // restore before asserting
 
   ASSERT_TRUE(comma_locale) << "locale " << active

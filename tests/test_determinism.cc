@@ -176,8 +176,8 @@ INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorDeterminism,
                          ::testing::Values(CandidateKind::kLsh,
                                            CandidateKind::kBruteForce,
                                            CandidateKind::kGrid),
-                         [](const auto& info) {
-                           return std::string(CandidateKindName(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(CandidateKindName(pinfo.param));
                          });
 
 // ---- Golden bit-identity against the committed pre-refactor output. ----
@@ -305,8 +305,8 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelGoldenLinks,
                          ::testing::Values(ScoreKernel::kScalar,
                                            ScoreKernel::kSse42,
                                            ScoreKernel::kAvx2),
-                         [](const auto& info) {
-                           return std::string(ScoreKernelName(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(ScoreKernelName(pinfo.param));
                          });
 
 // ---- Commute-generator golden: seeded byte-stability. ----

@@ -202,5 +202,50 @@ TEST(Sampler, LocationNoisePerturbsPositions) {
   EXPECT_TRUE(any_moved);
 }
 
+// Regression (PR 8): records used to be emitted — and per-record RNG state
+// consumed — while iterating the master->new-id unordered_map, so the
+// byte-exact sample depended on the standard library's hash table layout.
+// Each (side, master entity) now forks its own record stream, making the
+// bytes emission-order independent. This golden hash pins the exact
+// output; reintroducing layout-dependent order changes the hash on at
+// least one stdlib even when same-binary determinism still holds.
+TEST(Sampler, ByteExactOutputIsPinned) {
+  const LocationDataset master = MakeMaster(60, 30);
+  PairSampleOptions opt;
+  opt.entities_per_side = 25;
+  opt.intersection_ratio = 0.6;
+  opt.time_jitter_seconds = 30;
+  opt.seed = 123;
+  auto s = SampleLinkedPair(master, opt);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&h](const void* p, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_dataset = [&](const LocationDataset& ds) {
+    for (const Record& r : ds.records()) {
+      mix(&r.entity, sizeof(r.entity));
+      mix(&r.location.lat_deg, sizeof(double));
+      mix(&r.location.lng_deg, sizeof(double));
+      mix(&r.timestamp, sizeof(r.timestamp));
+    }
+  };
+  mix_dataset(s->a);
+  mix_dataset(s->b);
+  std::vector<std::pair<EntityId, EntityId>> truth(s->truth.a_to_b.begin(),
+                                                   s->truth.a_to_b.end());
+  std::sort(truth.begin(), truth.end());
+  for (const auto& [a, b] : truth) {
+    mix(&a, sizeof(a));
+    mix(&b, sizeof(b));
+  }
+  EXPECT_EQ(h, 0xedd55d32e7ea5e86ull);
+}
+
 }  // namespace
 }  // namespace slim

@@ -222,8 +222,8 @@ INSTANTIATE_TEST_SUITE_P(AllGenerators, ShardCandidates,
                          ::testing::Values(CandidateKind::kLsh,
                                            CandidateKind::kBruteForce,
                                            CandidateKind::kGrid),
-                         [](const auto& info) {
-                           return std::string(CandidateKindName(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(CandidateKindName(pinfo.param));
                          });
 
 // ---- The driver: sharded == monolithic, at every K x threads. ----
@@ -283,8 +283,8 @@ INSTANTIATE_TEST_SUITE_P(AllGenerators, ShardedDriver,
                          ::testing::Values(CandidateKind::kLsh,
                                            CandidateKind::kBruteForce,
                                            CandidateKind::kGrid),
-                         [](const auto& info) {
-                           return std::string(CandidateKindName(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(CandidateKindName(pinfo.param));
                          });
 
 TEST(ShardedDriver, EmptySidesShortCircuit) {

@@ -138,6 +138,34 @@ TEST(StLink, AutoDetectsKAndL) {
   EXPECT_GE(r->l_used, 1u);
 }
 
+// Regression (PR 8): the candidate graph used to be emitted while
+// iterating the merged per-shard unordered_map, so edge order (and
+// anything downstream that breaks weight ties positionally, e.g.
+// Hit-Precision@k) depended on the stdlib hash layout. Shard results are
+// now drained and key-sorted before any consumer runs.
+TEST(StLink, CandidateGraphEdgesAreKeySorted) {
+  // Three entities per side; each u co-occurs with two v's so the graph
+  // has several edges per vertex and ambiguity drops every final link.
+  std::vector<std::pair<EntityId, std::vector<std::pair<int, LatLng>>>> spec;
+  for (EntityId u = 0; u < 3; ++u) {
+    spec.push_back({u, {{0, kSpotA}, {1, kSpotB}, {2, kSpotC},
+                        {3, kSpotA}, {4, kSpotB}}});
+  }
+  const auto e = Make("E", spec);
+  const auto i = Make("I", spec);
+  const StLinkLinker linker(Config());
+  auto r = linker.Link(e, i);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& edges = r->graph.edges();
+  ASSERT_GE(edges.size(), 2u);
+  for (size_t k = 1; k < edges.size(); ++k) {
+    const bool sorted =
+        edges[k - 1].u < edges[k].u ||
+        (edges[k - 1].u == edges[k].u && edges[k - 1].v < edges[k].v);
+    EXPECT_TRUE(sorted) << "edge " << k << " out of (u, v) order";
+  }
+}
+
 TEST(StLink, EmptyDatasetsYieldNoLinks) {
   LocationDataset e("E"), i("I");
   e.Finalize();

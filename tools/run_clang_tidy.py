@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Run the curated .clang-tidy set over the compilation database.
+
+Filters compile_commands.json down to first-party TUs (src/ tools/ bench/
+tests/, minus the lint fixture corpus and generated files), fans the TUs
+out over a worker pool, and prints a per-check summary.  WarningsAsErrors
+in .clang-tidy makes any finding fatal, so CI can gate on the exit code.
+
+Exit status: 0 clean, 1 findings, 2 usage error, 77 when no clang-tidy
+binary exists (ctest maps 77 to SKIPPED; pass --require to turn the
+missing binary into a hard failure, which CI does).
+
+Usage:
+  tools/run_clang_tidy.py -p build               # whole tree
+  tools/run_clang_tidy.py -p build src/core      # subset by prefix
+  tools/run_clang_tidy.py -p build --require -j 8
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tools/", "bench/", "tests/", "examples/")
+EXCLUDES = ("tests/lint/fixtures/",)
+
+# Newest first; plain `clang-tidy` preferred over versioned spellings.
+CANDIDATE_NAMES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(22, 11, -1)]
+
+CHECK_TAG_RE = re.compile(r"\[([a-z0-9.,-]+)\]\s*$")
+
+
+def find_clang_tidy():
+    for name in CANDIDATE_NAMES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def first_party_tus(build_dir, root, prefixes):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"error: {db_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    tus = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        try:
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+        except ValueError:
+            continue
+        if rel.startswith(".."):
+            continue  # generated / third-party TU outside the repo
+        if not rel.startswith(FIRST_PARTY):
+            continue
+        if any(rel.startswith(e) for e in EXCLUDES):
+            continue
+        if prefixes and not any(rel.startswith(p) for p in prefixes):
+            continue
+        tus.append(rel)
+    return sorted(set(tus))
+
+
+def run_one(args):
+    tidy, build_dir, root, tu = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", tu],
+        cwd=root, capture_output=True, text=True)
+    return tu, proc.returncode, proc.stdout, proc.stderr
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="run_clang_tidy")
+    ap.add_argument("prefixes", nargs="*",
+                    help="restrict to TUs under these repo-relative prefixes")
+    ap.add_argument("-p", "--build-dir", default="build")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count()))
+    ap.add_argument("--require", action="store_true",
+                    help="fail (not skip) when clang-tidy is unavailable")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+    build_dir = os.path.abspath(args.build_dir)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary on PATH "
+              f"(tried {CANDIDATE_NAMES[0]} and versioned names)",
+              file=sys.stderr)
+        return 1 if args.require else 77
+
+    tus = first_party_tus(build_dir, root, args.prefixes)
+    if not tus:
+        print("run_clang_tidy: no matching first-party TUs", file=sys.stderr)
+        return 2
+
+    failures = 0
+    by_check = {}
+    work = [(tidy, build_dir, root, tu) for tu in tus]
+    with multiprocessing.Pool(args.jobs) as pool:
+        for tu, rc, out, err in pool.imap_unordered(run_one, work):
+            if rc != 0:
+                failures += 1
+                sys.stdout.write(out)
+                # clang-tidy puts config errors on stderr; surface those.
+                if not out.strip():
+                    sys.stderr.write(err)
+                for line in out.splitlines():
+                    m = CHECK_TAG_RE.search(line)
+                    if m and (": warning:" in line or ": error:" in line):
+                        for check in m.group(1).split(","):
+                            by_check[check] = by_check.get(check, 0) + 1
+    print(f"run_clang_tidy: {len(tus)} TUs, {failures} with findings",
+          file=sys.stderr)
+    if by_check:
+        print("findings by check:", file=sys.stderr)
+        for check in sorted(by_check, key=by_check.get, reverse=True):
+            print(f"  {by_check[check]:5d}  {check}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

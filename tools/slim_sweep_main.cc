@@ -10,7 +10,7 @@
 //
 //   # CI quick gate: coarse grids, fail unless the commute baseline
 //   # (zero degradation) reaches F1 0.95
-//   slim_sweep --quick --gate_f1 0.95 --gate_workload commute \
+//   slim_sweep --quick --gate_f1 0.95 --gate_workload commute
 //              --out BENCH_sweep_quick.json
 //
 //   # sweep a pre-generated experiment instead of a synthetic workload
