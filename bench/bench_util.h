@@ -174,6 +174,14 @@ struct PipelineRunRecord {
   // Right-side shard count of the run; 0 for pre-v3 records (monolithic
   // pipeline documents carry no "shards" key).
   int shards = 0;
+  // Left-side shard count (slim-bench-scale-v1 two-sided runs); 0 for
+  // records that predate two-sided sharding.
+  int left_shards = 0;
+  // External-sort provenance (slim-bench-scale-v1): bytes written to the
+  // spill file including the resort pass, and k-way merge passes run.
+  // Both 0 for older records and for in-memory runs.
+  uint64_t spill_bytes_written = 0;
+  int merge_passes = 0;
   // Stage name -> wall seconds ("histories", "lsh", "scoring", "matching",
   // "total").
   std::vector<std::pair<std::string, double>> seconds;
@@ -192,19 +200,23 @@ struct PipelineRunRecord {
 
 /// The key vocabulary of every bench-record schema the repo has shipped
 /// (v1 pipeline seconds, v2 + RSS/distance-cache, v3 + sharding, the
-/// kernel-bench v1 family). Keys a reader meets outside this list signal
-/// baseline/schema drift.
+/// kernel-bench v1 family, the scale-bench v1 family). Keys a reader meets
+/// outside this list signal baseline/schema drift.
 inline bool IsKnownBenchKey(const std::string& key) {
   static const char* const kKnown[] = {
       // Document level.
       "schema", "workload", "quick", "hardware_threads", "deterministic",
       "runs", "monolithic_probes", "extrapolated_monolithic",
       "rss_reduction_vs_extrapolated", "target_entities", "exponent",
+      // Scale-bench document level (slim-bench-scale-v1, bench_scale.cc).
+      "memory_budget_bytes", "sctx_bytes", "monolithic_reference",
       // Run level.
       "entities", "threads", "shards", "links", "links_hash",
       "candidate_pairs", "possible_pairs", "seconds", "speedup_vs_first",
       "peak_rss_bytes", "block_bytes", "distance_cache", "hits", "misses",
       "spilled_edges", "spill_on_disk",
+      // Scale-bench run level (two-sided sharding + external sort).
+      "left_shards", "spill_bytes_written", "merge_passes",
       // Stage names (inside seconds / speedup / RSS objects).
       "histories", "lsh", "scoring", "matching", "total",
       // Kernel-bench run level (slim-bench-kernel-v1, bench_kernel.cc).
@@ -363,6 +375,26 @@ inline std::vector<PipelineRunRecord> ParsePipelineRuns(
       run.shards =
           static_cast<int>(number_after(shards_pos + sizeof("\"shards\"") - 1));
     }
+    // scale-v1: optional two-sided-sharding and external-sort fields, also
+    // between "threads" and "seconds". ("left_shards" cannot false-match
+    // the "shards" probe above: that needle includes the opening quote.)
+    const auto optional_field = [&](const char* needle, size_t needle_size) {
+      const size_t field = json.find(needle, threads_pos);
+      return field != std::string::npos && field < seconds_pos
+                 ? number_after(field + needle_size - 1)
+                 : -1.0;
+    };
+    const double left =
+        optional_field("\"left_shards\"", sizeof("\"left_shards\""));
+    if (left >= 0.0) run.left_shards = static_cast<int>(left);
+    const double spill_bytes = optional_field("\"spill_bytes_written\"",
+                                              sizeof("\"spill_bytes_written\""));
+    if (spill_bytes >= 0.0) {
+      run.spill_bytes_written = static_cast<uint64_t>(spill_bytes);
+    }
+    const double merges =
+        optional_field("\"merge_passes\"", sizeof("\"merge_passes\""));
+    if (merges >= 0.0) run.merge_passes = static_cast<int>(merges);
     const size_t close = parse_stage_object(seconds_pos, &run.seconds);
     if (close == std::string::npos) break;
     // v2: an optional peak_rss_bytes object belonging to this run (it must

@@ -1,0 +1,96 @@
+// Owned-or-mapped flat array: the backing-store abstraction behind the
+// dense linkage context (core/linkage_context.h).
+//
+// A FlatArray<T> is a contiguous read-only sequence that either OWNS its
+// elements (a std::vector<T>, the in-heap build path) or VIEWS them inside
+// memory some other object keeps alive (an mmap'ed SCTX file —
+// core/sctx.h). Readers cannot tell the difference: data()/size()/span()
+// and element access behave identically, so SimilarityEngine and the score
+// kernels run unchanged over either backing. Mutation is an owned-mode
+// privilege; calling a mutator on a view aborts (SLIM_CHECK), which keeps
+// the mapped pages honestly read-only.
+//
+// Copy/move semantics are the default member-wise ones: copying a view
+// copies the pointer (the mapping's owner — e.g. LinkageContext's backing
+// handle — must outlive every copy), copying an owned array deep-copies
+// the vector. T must be trivially copyable: these arrays are exactly the
+// ones SCTX serialises as raw little-endian bytes.
+#ifndef SLIM_COMMON_FLAT_ARRAY_H_
+#define SLIM_COMMON_FLAT_ARRAY_H_
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace slim {
+
+template <typename T>
+class FlatArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatArray elements are serialised as raw bytes");
+
+ public:
+  FlatArray() = default;
+  /// Owned backing (implicit so `array = std::move(vec)` keeps working in
+  /// builder code).
+  FlatArray(std::vector<T> owned) : owned_(std::move(owned)) {}  // NOLINT
+  FlatArray& operator=(std::vector<T> owned) {
+    owned_ = std::move(owned);
+    view_ = nullptr;
+    view_size_ = 0;
+    return *this;
+  }
+
+  /// A view of `size` elements at `data`, owned by someone else. `data` may
+  /// be null only when size == 0.
+  static FlatArray View(const T* data, size_t size) {
+    SLIM_CHECK_MSG(data != nullptr || size == 0,
+                   "FlatArray view of null storage");
+    FlatArray a;
+    a.view_ = data;
+    a.view_size_ = size;
+    return a;
+  }
+
+  /// True when this array views storage owned elsewhere.
+  bool is_view() const { return view_ != nullptr; }
+
+  size_t size() const { return is_view() ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return is_view() ? view_ : owned_.data(); }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  /// The owned vector, for builder-side mutation (resize/assign/writes).
+  /// Aborts on a view: mapped backings are read-only by contract.
+  std::vector<T>& owned() {
+    SLIM_CHECK_MSG(!is_view(), "mutating a mapped (read-only) FlatArray");
+    return owned_;
+  }
+
+  /// Element-wise equality over contents, whatever the backing mix.
+  friend bool operator==(const FlatArray& a, const FlatArray& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;  // non-null -> view mode
+  size_t view_size_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_FLAT_ARRAY_H_

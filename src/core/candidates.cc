@@ -44,12 +44,15 @@ struct CandidateCsr {
 LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx) {
   int64_t lo = std::numeric_limits<int64_t>::max();
   int64_t hi = std::numeric_limits<int64_t>::min();
+  // Each entity's sorted window list bounds its occupancy exactly as its
+  // tree's min/max do — reading the CSR keeps this usable on SCTX-loaded
+  // contexts that skipped the tree rebuild.
   auto widen = [&](const HistoryStore& store) {
     for (EntityIdx k = 0; k < store.size(); ++k) {
-      const WindowSegmentTree& tree = store.tree(k);
-      if (tree.empty()) continue;
-      lo = std::min(lo, tree.min_window());
-      hi = std::max(hi, tree.max_window());
+      const std::span<const int64_t> windows = store.windows(k);
+      if (windows.empty()) continue;
+      lo = std::min(lo, windows.front());
+      hi = std::max(hi, windows.back());
     }
   };
   widen(ctx.store_e);
@@ -58,11 +61,12 @@ LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx) {
   return {lo, hi + 1};
 }
 
-// Every cross pair against the right shard [begin, end).
+// Every cross pair of the block: [left_begin, left_end) x [begin, end).
 class BruteForceCandidates final : public CandidateGenerator {
  public:
-  BruteForceCandidates(size_t lefts, EntityIdx begin, EntityIdx end)
-      : lefts_(lefts), shard_right_(end - begin) {
+  BruteForceCandidates(EntityIdx left_begin, EntityIdx left_end,
+                       EntityIdx begin, EntityIdx end)
+      : lefts_(left_end - left_begin), shard_right_(end - begin) {
     std::iota(shard_right_.begin(), shard_right_.end(), begin);
   }
 
@@ -82,19 +86,23 @@ class BruteForceCandidates final : public CandidateGenerator {
 class LshCandidates final : public CandidateGenerator {
  public:
   LshCandidates(const LinkageContext& ctx, const LshConfig& config,
-                EntityIdx right_begin, EntityIdx right_end, int threads) {
+                EntityIdx left_begin, EntityIdx left_end,
+                EntityIdx right_begin, EntityIdx right_end, int threads)
+      : left_begin_(left_begin) {
     std::vector<LshIndex::Entry> left, right;
-    left.reserve(ctx.store_e.size());
+    left.reserve(left_end - left_begin);
     right.reserve(right_end - right_begin);
-    for (EntityIdx u = 0; u < ctx.store_e.size(); ++u) {
+    for (EntityIdx u = left_begin; u < left_end; ++u) {
       left.push_back({ctx.store_e.entity_id(u), &ctx.store_e.tree(u)});
     }
     for (EntityIdx v = right_begin; v < right_end; ++v) {
       right.push_back({ctx.store_i.entity_id(v), &ctx.store_i.tree(v)});
     }
-    // The grid is pinned to the full problem's span, so a shard build's
+    // The grid is pinned to the full problem's span, so a block build's
     // band hashes — and therefore its collisions — are exactly the full
-    // build's restricted to [right_begin, right_end).
+    // build's restricted to the block: a collision is a pairwise predicate
+    // over one left and one right signature, and neither signature depends
+    // on which other entities were indexed alongside it.
     const LshWindowSpan span = GlobalWindowSpan(ctx);
     const LshIndex index = LshIndex::Build(left, right, config, threads, &span);
     total_candidate_pairs_ = index.total_candidate_pairs();
@@ -119,13 +127,14 @@ class LshCandidates final : public CandidateGenerator {
 
   std::string_view name() const override { return "lsh"; }
   std::span<const EntityIdx> CandidatesFor(EntityIdx u) const override {
-    return csr_.SpanOf(u);
+    return csr_.SpanOf(u - left_begin_);
   }
   uint64_t total_candidate_pairs() const override {
     return total_candidate_pairs_;
   }
 
  private:
+  EntityIdx left_begin_;
   CandidateCsr csr_;
   uint64_t total_candidate_pairs_ = 0;
 };
@@ -134,8 +143,10 @@ class GridBlockingCandidates final : public CandidateGenerator {
  public:
   GridBlockingCandidates(const LinkageContext& ctx,
                          const GridBlockingConfig& config,
+                         EntityIdx left_begin, EntityIdx left_end,
                          EntityIdx right_begin, EntityIdx right_end,
-                         int threads) {
+                         int threads)
+      : left_begin_(left_begin) {
     const HistoryStore& se = ctx.store_e;
     const HistoryStore& si = ctx.store_i;
 
@@ -164,13 +175,16 @@ class GridBlockingCandidates final : public CandidateGenerator {
     // same on every kernel and shard layout.
     const ScoreKernelOps& ops =
         GetScoreKernelOps(ResolveScoreKernel(ScoreKernel::kAuto));
-    std::vector<std::vector<EntityIdx>> lists(se.size());
+    // Per-left co-visit gathering touches only that left's own bins, so
+    // restricting the loop to the block's left range changes nothing about
+    // the lists it does build.
+    std::vector<std::vector<EntityIdx>> lists(left_end - left_begin);
     ParallelFor(
-        se.size(),
+        lists.size(),
         [&](size_t begin, size_t end, int) {
           std::vector<uint32_t> match_a, match_b;  // per-worker scratch
           for (size_t k = begin; k < end; ++k) {
-            const EntityIdx u = static_cast<EntityIdx>(k);
+            const EntityIdx u = left_begin + static_cast<EntityIdx>(k);
             auto& list = lists[k];
             for (const BinId b : se.bins(u)) {
               // The hotspot stop-word counts holders in the FULL right
@@ -198,11 +212,12 @@ class GridBlockingCandidates final : public CandidateGenerator {
 
   std::string_view name() const override { return "grid"; }
   std::span<const EntityIdx> CandidatesFor(EntityIdx u) const override {
-    return csr_.SpanOf(u);
+    return csr_.SpanOf(u - left_begin_);
   }
   uint64_t total_candidate_pairs() const override { return csr_.flat.size(); }
 
  private:
+  EntityIdx left_begin_;
   CandidateCsr csr_;
 };
 
@@ -232,29 +247,36 @@ std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
     CandidateKind kind, const LinkageContext& context,
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
     int threads) {
-  // A monolithic build IS the one-shard build over the full right store.
+  // A monolithic build IS the one-block build over both full stores.
   return MakeShardCandidateGenerator(
       kind, context, lsh_config, grid_config, 0,
+      static_cast<EntityIdx>(context.store_e.size()), 0,
       static_cast<EntityIdx>(context.store_i.size()), threads);
 }
 
 std::unique_ptr<CandidateGenerator> MakeShardCandidateGenerator(
     CandidateKind kind, const LinkageContext& context,
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
-    EntityIdx right_begin, EntityIdx right_end, int threads) {
+    EntityIdx left_begin, EntityIdx left_end, EntityIdx right_begin,
+    EntityIdx right_end, int threads) {
+  SLIM_CHECK_MSG(left_begin <= left_end &&
+                     left_end <= context.store_e.size(),
+                 "left shard range out of bounds");
   SLIM_CHECK_MSG(right_begin <= right_end &&
                      right_end <= context.store_i.size(),
-                 "shard range out of bounds");
+                 "right shard range out of bounds");
   switch (kind) {
     case CandidateKind::kLsh:
-      return std::make_unique<LshCandidates>(context, lsh_config, right_begin,
-                                             right_end, threads);
+      return std::make_unique<LshCandidates>(context, lsh_config, left_begin,
+                                             left_end, right_begin, right_end,
+                                             threads);
     case CandidateKind::kBruteForce:
-      return std::make_unique<BruteForceCandidates>(context.store_e.size(),
+      return std::make_unique<BruteForceCandidates>(left_begin, left_end,
                                                     right_begin, right_end);
     case CandidateKind::kGrid:
       return std::make_unique<GridBlockingCandidates>(
-          context, grid_config, right_begin, right_end, threads);
+          context, grid_config, left_begin, left_end, right_begin, right_end,
+          threads);
   }
   SLIM_CHECK_MSG(false, "unreachable candidate kind");
   return nullptr;

@@ -85,19 +85,24 @@ std::unique_ptr<CandidateGenerator> MakeCandidateGenerator(
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
     int threads = 0);
 
-/// Builds a candidate index restricted to the right-side shard
-/// [right_begin, right_end): CandidatesFor(u) returns exactly the full
-/// generator's list for u intersected with the shard range, as ascending
-/// *global* right EntityIdx values. Every dataset-level statistic a
-/// generator consults (the LSH query grid, the grid-blocking hotspot cap)
-/// is taken from the full context, so the union over a shard partition of
-/// these indices reproduces the monolithic candidate set bit for bit —
-/// the contract the sharded driver (core/sharded.h) and its goldens pin.
-/// Peak memory scales with the shard size, not the right store.
+/// Builds a candidate index restricted to one L×K block: left entities
+/// [left_begin, left_end) against right entities [right_begin, right_end).
+/// CandidatesFor(u) — valid exactly for u in the left range — returns the
+/// full generator's list for u intersected with the right range, as
+/// ascending *global* right EntityIdx values. Every dataset-level
+/// statistic a generator consults (the LSH query grid, the grid-blocking
+/// hotspot cap) is taken from the full context, and candidacy is a
+/// pairwise predicate on both sides (an LSH collision involves only the
+/// two signatures; a co-visit involves only the two histories), so the
+/// union over any L×K block partition of these indices reproduces the
+/// monolithic candidate set bit for bit — the contract the sharded driver
+/// (core/sharded.h) and its goldens pin. Peak memory scales with the
+/// block size, not the stores.
 std::unique_ptr<CandidateGenerator> MakeShardCandidateGenerator(
     CandidateKind kind, const LinkageContext& context,
     const LshConfig& lsh_config, const GridBlockingConfig& grid_config,
-    EntityIdx right_begin, EntityIdx right_end, int threads = 0);
+    EntityIdx left_begin, EntityIdx left_end, EntityIdx right_begin,
+    EntityIdx right_end, int threads = 0);
 
 }  // namespace slim
 

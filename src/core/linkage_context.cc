@@ -67,6 +67,16 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
   store->trees_ = std::move(side.trees);
   store->total_records_ = std::move(side.total_records);
 
+  // The build path owns plain vectors behind every FlatArray; mapped
+  // backings only ever come from the SCTX reader.
+  std::vector<uint32_t>& bin_offsets = store->bin_offsets_.owned();
+  std::vector<uint32_t>& window_offsets = store->window_offsets_.owned();
+  std::vector<BinId>& bin_ids = store->bin_ids_.owned();
+  std::vector<uint32_t>& bin_counts = store->bin_counts_.owned();
+  std::vector<int64_t>& windows = store->windows_.owned();
+  std::vector<uint32_t>& window_bin_begin = store->window_bin_begin_.owned();
+  std::vector<uint64_t>& window_masks = store->window_masks_.owned();
+
   // CSR offsets from per-entity bin counts (exclusive prefix sums), then a
   // parallel interning fill into the pre-sized flat arrays. Offsets are
   // 32-bit; guard the total before summing into them (the vocabulary has
@@ -75,44 +85,43 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
   for (const auto& bins : side.bins) total_bins64 += bins.size();
   SLIM_CHECK_MSG(total_bins64 <= UINT32_MAX,
                  "history store exceeds 2^32 bin occurrences");
-  store->bin_offsets_.assign(n + 1, 0);
-  store->window_offsets_.assign(n + 1, 0);
+  bin_offsets.assign(n + 1, 0);
+  window_offsets.assign(n + 1, 0);
   for (size_t k = 0; k < n; ++k) {
     const auto& bins = side.bins[k];
-    store->bin_offsets_[k + 1] =
-        store->bin_offsets_[k] + static_cast<uint32_t>(bins.size());
-    uint32_t windows = 0;
+    bin_offsets[k + 1] = bin_offsets[k] + static_cast<uint32_t>(bins.size());
+    uint32_t entity_windows = 0;
     for (size_t i = 0; i < bins.size(); ++i) {
-      if (i == 0 || bins[i].window != bins[i - 1].window) ++windows;
+      if (i == 0 || bins[i].window != bins[i - 1].window) ++entity_windows;
     }
-    store->window_offsets_[k + 1] = store->window_offsets_[k] + windows;
+    window_offsets[k + 1] = window_offsets[k] + entity_windows;
   }
-  const size_t total_bins = store->bin_offsets_[n];
-  const size_t total_windows = store->window_offsets_[n];
-  store->bin_ids_.resize(total_bins);
-  store->bin_counts_.resize(total_bins);
-  store->windows_.resize(total_windows);
-  store->window_bin_begin_.resize(total_windows + 1);
-  store->window_bin_begin_[total_windows] = static_cast<uint32_t>(total_bins);
-  store->window_masks_.assign(n * HistoryStore::kWindowMaskWords, 0);
+  const size_t total_bins = bin_offsets[n];
+  const size_t total_windows = window_offsets[n];
+  bin_ids.resize(total_bins);
+  bin_counts.resize(total_bins);
+  windows.resize(total_windows);
+  window_bin_begin.resize(total_windows + 1);
+  window_bin_begin[total_windows] = static_cast<uint32_t>(total_bins);
+  window_masks.assign(n * HistoryStore::kWindowMaskWords, 0);
 
   ParallelFor(
       n,
       [&](size_t begin, size_t end, int) {
         for (size_t k = begin; k < end; ++k) {
           const auto& bins = side.bins[k];
-          uint32_t bin_pos = store->bin_offsets_[k];
-          uint32_t win_pos = store->window_offsets_[k];
+          uint32_t bin_pos = bin_offsets[k];
+          uint32_t win_pos = window_offsets[k];
           uint64_t* mask =
-              store->window_masks_.data() + k * HistoryStore::kWindowMaskWords;
+              window_masks.data() + k * HistoryStore::kWindowMaskWords;
           for (size_t i = 0; i < bins.size(); ++i) {
             const auto id = vocab.Find(bins[i].window, bins[i].cell);
             SLIM_CHECK_MSG(id.has_value(), "bin missing from vocabulary");
-            store->bin_ids_[bin_pos] = *id;
-            store->bin_counts_[bin_pos] = bins[i].record_count;
+            bin_ids[bin_pos] = *id;
+            bin_counts[bin_pos] = bins[i].record_count;
             if (i == 0 || bins[i].window != bins[i - 1].window) {
-              store->windows_[win_pos] = bins[i].window;
-              store->window_bin_begin_[win_pos] = bin_pos;
+              windows[win_pos] = bins[i].window;
+              window_bin_begin[win_pos] = bin_pos;
               ++win_pos;
               // Fingerprint bit (window mod 512); the unsigned cast keeps
               // pre-epoch (negative) windows consistent on both stores.
@@ -128,21 +137,23 @@ void HistoryStoreBuilder::Fill(const LocationDataset& dataset,
 
   // Quantized (saturating u16) copy of the counts for the integer overlap
   // prefilters — built here so every store has it without a separate pass.
-  store->quantized_counts_.resize(total_bins);
-  QuantizeCountsSaturating(store->bin_counts_,
-                           store->quantized_counts_.data());
+  store->quantized_counts_.owned().resize(total_bins);
+  QuantizeCountsSaturating(store->bin_counts_.span(),
+                           store->quantized_counts_.owned().data());
 
   // Dataset-level statistics: per-bin holder counts (each entity's bins are
   // distinct, so every occurrence is one holder) and the IDF array.
-  store->bin_entity_counts_.assign(vocab.size(), 0);
-  for (const BinId b : store->bin_ids_) ++store->bin_entity_counts_[b];
-  store->idf_.resize(vocab.size());
+  std::vector<uint32_t>& bin_entity_counts = store->bin_entity_counts_.owned();
+  std::vector<double>& idf = store->idf_.owned();
+  bin_entity_counts.assign(vocab.size(), 0);
+  for (const BinId b : bin_ids) ++bin_entity_counts[b];
+  idf.resize(vocab.size());
   if (n > 0) {
     const double dn = static_cast<double>(n);
     const double max_idf = std::log(dn);
     for (size_t b = 0; b < vocab.size(); ++b) {
-      const uint32_t holders = store->bin_entity_counts_[b];
-      store->idf_[b] =
+      const uint32_t holders = bin_entity_counts[b];
+      idf[b] =
           holders == 0 ? max_idf : std::log(dn / static_cast<double>(holders));
     }
   }
@@ -195,11 +206,13 @@ BinVocabulary BinVocabulary::Build(
                  "bin vocabulary exceeds 2^32 entries");
 
   BinVocabulary vocab;
-  vocab.windows_.reserve(keys.size());
-  vocab.cells_.reserve(keys.size());
+  std::vector<int64_t>& windows = vocab.windows_.owned();
+  std::vector<CellId>& cells = vocab.cells_.owned();
+  windows.reserve(keys.size());
+  cells.reserve(keys.size());
   for (const auto& [window, cell] : keys) {
-    vocab.windows_.push_back(window);
-    vocab.cells_.push_back(cell);
+    windows.push_back(window);
+    cells.push_back(cell);
   }
   return vocab;
 }

@@ -21,14 +21,26 @@
 // Construction is data-parallel over entities and deterministic: BinIds
 // are assigned in (window, cell) order, so a history's bin span is sorted
 // by BinId exactly as the sparse MobilityHistory sorts its bins.
+//
+// Every flat array lives in a FlatArray<T> (common/flat_array.h): the
+// build path owns plain vectors, while a context loaded from an SCTX file
+// (core/sctx.h) views the mapped bytes read-only — the scoring and
+// candidate layers read either backing transparently. The one structure a
+// mapped context cannot view is the per-entity WindowSegmentTree heap; the
+// SCTX reader rebuilds the trees deterministically from the CSR arrays (or
+// skips them when the run's candidate generator never queries them — see
+// has_trees()).
 #ifndef SLIM_CORE_LINKAGE_CONTEXT_H_
 #define SLIM_CORE_LINKAGE_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
+#include "common/flat_array.h"
 #include "core/history.h"
 #include "data/dataset.h"
 #include "geo/cell_id.h"
@@ -45,6 +57,7 @@ using BinId = uint32_t;
 using EntityIdx = uint32_t;
 
 class HistoryStoreBuilder;
+class SctxIo;
 
 /// The shared (window, cell) -> BinId interning over both datasets.
 class BinVocabulary {
@@ -65,9 +78,11 @@ class BinVocabulary {
       const std::vector<std::vector<TimeLocationBin>>& side_i);
 
  private:
+  friend class SctxIo;  // serialisation + mapped views (core/sctx.cc)
+
   // Parallel arrays indexed by BinId, sorted by (window, cell raw).
-  std::vector<int64_t> windows_;
-  std::vector<CellId> cells_;
+  FlatArray<int64_t> windows_;
+  FlatArray<CellId> cells_;
 };
 
 /// One dataset's histories in a flat CSR layout plus the dataset-level
@@ -77,7 +92,7 @@ class HistoryStore {
   /// Number of entities.
   size_t size() const { return entity_ids_.size(); }
   /// Sorted entity ids; EntityIdx is a position in this vector.
-  const std::vector<EntityId>& entity_ids() const { return entity_ids_; }
+  const FlatArray<EntityId>& entity_ids() const { return entity_ids_; }
   EntityId entity_id(EntityIdx u) const { return entity_ids_[u]; }
   /// Dense index of `entity`; nullopt when absent. O(log size).
   std::optional<EntityIdx> IndexOf(EntityId entity) const;
@@ -125,8 +140,8 @@ class HistoryStore {
     return {window_bin_begin_[w], window_bin_begin_[w + 1]};
   }
   /// Flat bin-id / count arrays (for WindowBinRange-based iteration).
-  const std::vector<BinId>& bin_ids() const { return bin_ids_; }
-  const std::vector<uint32_t>& bin_counts() const { return bin_counts_; }
+  const FlatArray<BinId>& bin_ids() const { return bin_ids_; }
+  const FlatArray<uint32_t>& bin_counts() const { return bin_counts_; }
 
   /// Mean |H_u| over the store (0 when empty).
   double avg_bins() const { return avg_bins_; }
@@ -137,38 +152,49 @@ class HistoryStore {
   double idf(BinId b) const { return idf_[b]; }
   /// The full IDF array (size = vocabulary size) for flat-pointer access on
   /// the scoring hot path.
-  const std::vector<double>& idf_values() const { return idf_; }
+  const FlatArray<double>& idf_values() const { return idf_; }
   /// The normalisation L(u) = (1 - b) + b * |H_u| / avg|H| of Eq. 2.
   double LengthNorm(EntityIdx u, double b) const;
 
+  /// Whether the per-entity window trees exist. True for every built
+  /// context; false only for an SCTX-loaded context that skipped the
+  /// rebuild (ReadSctx with build_trees = false) — such a context serves
+  /// every generator except LSH.
+  bool has_trees() const { return trees_.size() == entity_ids_.size(); }
   /// Entity u's hierarchical window aggregation (LSH dominating-cell
-  /// queries).
-  const WindowSegmentTree& tree(EntityIdx u) const { return trees_[u]; }
+  /// queries). Requires has_trees().
+  const WindowSegmentTree& tree(EntityIdx u) const {
+    SLIM_CHECK_MSG(u < trees_.size(),
+                   "window trees unavailable (SCTX loaded without trees)");
+    return trees_[u];
+  }
   /// Total records of entity u.
   uint64_t total_records(EntityIdx u) const { return total_records_[u]; }
 
  private:
   friend class HistoryStoreBuilder;  // construction (linkage_context.cc)
+  friend class SctxIo;               // serialisation + mapped views
 
-  std::vector<EntityId> entity_ids_;
+  FlatArray<EntityId> entity_ids_;
   // CSR over bins: entity u owns bin_ids_/bin_counts_ positions
   // [bin_offsets_[u], bin_offsets_[u+1]).
-  std::vector<uint32_t> bin_offsets_;
-  std::vector<BinId> bin_ids_;
-  std::vector<uint32_t> bin_counts_;
-  std::vector<uint16_t> quantized_counts_;  // bin_counts_ saturated to u16
+  FlatArray<uint32_t> bin_offsets_;
+  FlatArray<BinId> bin_ids_;
+  FlatArray<uint32_t> bin_counts_;
+  FlatArray<uint16_t> quantized_counts_;  // bin_counts_ saturated to u16
   // CSR over occupied windows: entity u owns windows_ positions
   // [window_offsets_[u], window_offsets_[u+1]); window_bin_begin_ maps each
   // window (plus one global sentinel) to where its bins start in bin_ids_.
-  std::vector<uint32_t> window_offsets_;
-  std::vector<int64_t> windows_;
-  std::vector<uint32_t> window_bin_begin_;
-  std::vector<uint64_t> window_masks_;  // kWindowMaskWords per entity
+  FlatArray<uint32_t> window_offsets_;
+  FlatArray<int64_t> windows_;
+  FlatArray<uint32_t> window_bin_begin_;
+  FlatArray<uint64_t> window_masks_;  // kWindowMaskWords per entity
   // Flat per-BinId statistics (size = vocabulary size).
-  std::vector<uint32_t> bin_entity_counts_;
-  std::vector<double> idf_;
+  FlatArray<uint32_t> bin_entity_counts_;
+  FlatArray<double> idf_;
+  // Heap-only: rebuilt (not mapped) on SCTX load; empty when skipped.
   std::vector<WindowSegmentTree> trees_;
-  std::vector<uint64_t> total_records_;
+  FlatArray<uint64_t> total_records_;
   double avg_bins_ = 0.0;
 };
 
@@ -178,6 +204,11 @@ struct LinkageContext {
   BinVocabulary vocab;
   HistoryStore store_e;  // left dataset ("E")
   HistoryStore store_i;  // right dataset ("I")
+  /// Keep-alive handle for mapped backings: when the stores view an
+  /// SCTX mapping instead of owning heap vectors, this owns the mapping
+  /// (an opaque FileContents). Copies of the context share it, so views
+  /// stay valid for the lifetime of every copy. Null for built contexts.
+  std::shared_ptr<const void> backing;
 
   /// Builds the context from two finalized datasets. Per-entity binning and
   /// tree construction are data-parallel over `threads` workers (<= 0 means

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <memory>
 
@@ -9,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/resource.h"
 #include "core/candidates.h"
+#include "core/sctx.h"
 #include "core/similarity.h"
 
 namespace slim {
@@ -30,30 +32,148 @@ constexpr uint64_t kBlockExpansionFactor = 4;
 // block holds.
 constexpr uint64_t kPerEntityFloorBytes = 64;
 
+bool PathExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// The block + merge stages shared by LinkSharded and LinkShardedContext:
+// everything after the context exists. `result` arrives with the context
+// phase's timings filled in; `t_start` anchors seconds_total.
+Result<LinkageResult> RunShardedBlocks(
+    const SlimConfig& config, int threads, const LinkageContext& ctx,
+    uint64_t rss_before_context, std::chrono::steady_clock::time_point t_start,
+    LinkageResult result) {
+  result.possible_pairs = static_cast<uint64_t>(ctx.store_e.size()) *
+                          static_cast<uint64_t>(ctx.store_i.size());
+  if (ctx.store_e.size() == 0 || ctx.store_i.size() == 0) {
+    result.seconds_total = SecondsSince(t_start);
+    result.rss_peak_total = CurrentPeakRssBytes();
+    return result;
+  }
+
+  const ShardPlan plan = EstimateShardPlan(ctx, config, rss_before_context);
+  result.shards_used = plan.shards;
+  result.left_shards_used = plan.left_shards;
+
+  // 2/3. Candidates + scoring, one L x K block at a time in (left, right)
+  //      order. A block's candidate index lives only for its own scoring
+  //      pass; edges leave through the external sort, so at any instant
+  //      the process holds one block's index plus one run buffer.
+  //      Spilling is pointless for a single block (the merge would reload
+  //      everything immediately).
+  const SimilarityEngine engine(ctx, config.similarity);
+  const bool need_graph =
+      config.keep_graph || config.matcher == MatcherKind::kHungarian;
+  EdgeSpillOptions spill_options;
+  spill_options.to_disk = plan.left_shards * plan.shards > 1;
+  spill_options.run_bytes = static_cast<size_t>(config.spill_run_bytes);
+  // Runs sort into the order the seal scans first (its only scan, when the
+  // graph is skipped), so the common path is a single merge pass.
+  spill_options.run_order =
+      need_graph ? EdgeOrder::kPair : EdgeOrder::kScore;
+  EdgeSpill spill(spill_options);
+
+  for (const auto& [left_begin, left_end] : plan.left_ranges) {
+    for (const auto& [right_begin, right_end] : plan.ranges) {
+      auto t0 = std::chrono::steady_clock::now();
+      const std::unique_ptr<CandidateGenerator> generator =
+          MakeShardCandidateGenerator(config.candidates, ctx, config.lsh,
+                                      config.grid, left_begin, left_end,
+                                      right_begin, right_end, threads);
+      result.candidate_pairs += generator->total_candidate_pairs();
+      result.seconds_lsh += SecondsSince(t0);
+      result.rss_peak_lsh = CurrentPeakRssBytes();
+
+      t0 = std::chrono::steady_clock::now();
+      std::vector<std::vector<WeightedEdge>> block_edges(
+          static_cast<size_t>(threads));
+      std::vector<SimilarityStats> block_stats(static_cast<size_t>(threads));
+      ParallelFor(
+          static_cast<size_t>(left_end - left_begin),
+          [&](size_t begin, size_t end, int shard) {
+            auto& edges = block_edges[static_cast<size_t>(shard)];
+            auto& stats = block_stats[static_cast<size_t>(shard)];
+            CellDistanceCache cache;
+            ScoreScratch scratch;
+            for (size_t k = begin; k < end; ++k) {
+              const EntityIdx u_idx =
+                  left_begin + static_cast<EntityIdx>(k);
+              const EntityId u = ctx.store_e.entity_id(u_idx);
+              for (const EntityIdx v_idx :
+                   generator->CandidatesFor(u_idx)) {
+                const double s = engine.ScoreIndexed(u_idx, v_idx, &stats,
+                                                     &cache, &scratch);
+                if (s > 0.0) {
+                  edges.push_back({u, ctx.store_i.entity_id(v_idx), s});
+                }
+              }
+            }
+            stats.cache_hits += cache.hits();
+            stats.cache_misses += cache.misses();
+          },
+          threads);
+      // Blocks leave in (left, right, thread-shard) order — any order
+      // works, the merge re-sorts — and their scratch dies here.
+      for (int shard = 0; shard < threads; ++shard) {
+        result.stats += block_stats[static_cast<size_t>(shard)];
+        spill.Append(std::move(block_edges[static_cast<size_t>(shard)]));
+      }
+      result.seconds_scoring += SecondsSince(t0);
+      result.rss_peak_scoring = CurrentPeakRssBytes();
+    }
+  }
+
+  result.spilled_edges = spill.size();
+  result.spill_on_disk = spill.on_disk();
+
+  // 4/5. Deterministic merge into the shared matching + threshold tail:
+  // the seal fixes the canonical edge orders, so the block partition
+  // leaves no trace in the output.
+  if (Status s = internal::SealLinkageStreamed(config, &spill, &result);
+      !s.ok()) {
+    return s;
+  }
+  result.spill_bytes_written = spill.spill_bytes_written();
+  result.merge_passes = spill.merge_passes();
+
+  result.seconds_total = SecondsSince(t_start);
+  result.rss_peak_total = CurrentPeakRssBytes();
+  return result;
+}
+
 }  // namespace
 
-ShardPlan ShardPlan::Fixed(size_t rights, int shards) {
-  ShardPlan plan;
-  plan.shards = std::max(1, shards);
-  if (rights > 0) {
-    plan.shards = static_cast<int>(
-        std::min<size_t>(static_cast<size_t>(plan.shards), rights));
-  } else {
-    plan.shards = 1;
-  }
-  // Balanced contiguous ranges: the first (rights % K) shards take one
-  // extra entity, so sizes differ by at most one.
-  const size_t k = static_cast<size_t>(plan.shards);
-  const size_t base = rights / k;
-  const size_t extra = rights % k;
+std::vector<std::pair<EntityIdx, EntityIdx>> BalancedEntityRanges(
+    size_t count, int parts) {
+  size_t k = static_cast<size_t>(std::max(1, parts));
+  if (count > 0) k = std::min(k, count);
+  if (count == 0) k = 1;
+  // Balanced contiguous ranges: the first (count % k) parts take one extra
+  // entity, so sizes differ by at most one.
+  const size_t base = count / k;
+  const size_t extra = count % k;
+  std::vector<std::pair<EntityIdx, EntityIdx>> ranges;
+  ranges.reserve(k);
   EntityIdx begin = 0;
   for (size_t s = 0; s < k; ++s) {
     const EntityIdx end =
         begin + static_cast<EntityIdx>(base + (s < extra ? 1 : 0));
-    plan.ranges.emplace_back(begin, end);
+    ranges.emplace_back(begin, end);
     begin = end;
   }
-  SLIM_CHECK(plan.ranges.back().second == rights);
+  SLIM_CHECK(ranges.back().second == count);
+  return ranges;
+}
+
+ShardPlan ShardPlan::Fixed(size_t rights, int shards) {
+  ShardPlan plan;
+  plan.ranges = BalancedEntityRanges(rights, shards);
+  plan.shards = static_cast<int>(plan.ranges.size());
+  // Fixed() cannot know the left extent; EstimateShardPlan balances
+  // left_ranges over the actual left store.
   return plan;
 }
 
@@ -89,80 +209,34 @@ ShardPlan EstimateShardPlan(const LinkageContext& context,
                             const SlimConfig& config,
                             uint64_t rss_before_context) {
   const size_t rights = context.store_i.size();
-  if (config.shards > 0) return ShardPlan::Fixed(rights, config.shards);
-  if (config.shard_memory_budget_bytes == 0 || rights == 0) {
-    return ShardPlan::Fixed(rights, 1);
-  }
-  const uint64_t per_entity =
-      EstimateBlockBytesPerEntity(context, rss_before_context);
-  const uint64_t budget = config.shard_memory_budget_bytes;
-  // Smallest K with ceil(rights / K) * per_entity <= budget: at most
-  // floor(budget / per_entity) entities fit one shard, so K must cover
-  // `rights` in chunks of that size (one entity per shard when even a
-  // single entity exceeds the budget — sharding cannot go finer).
-  const uint64_t entities_per_shard = budget / per_entity;
-  const uint64_t shards =
-      entities_per_shard == 0
-          ? rights
-          : (rights + entities_per_shard - 1) / entities_per_shard;
-  ShardPlan plan = ShardPlan::Fixed(
-      rights, static_cast<int>(std::min<uint64_t>(
-                  shards == 0 ? 1 : shards,
-                  static_cast<uint64_t>(std::numeric_limits<int>::max()))));
-  plan.per_entity_bytes = per_entity;
-  return plan;
-}
-
-EdgeSpill::EdgeSpill(bool to_disk) {
-  if (to_disk) file_ = std::tmpfile();  // nullptr -> in-memory fallback
-}
-
-EdgeSpill::~EdgeSpill() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-void EdgeSpill::Append(std::vector<WeightedEdge> edges) {
-  count_ += edges.size();
-  if (file_ != nullptr) {
-    if (!edges.empty() &&
-        std::fwrite(edges.data(), sizeof(WeightedEdge), edges.size(),
-                    file_) != edges.size()) {
-      // Spill device full: fall back to memory for everything written so
-      // far plus this block — correctness over the memory bound.
-      std::rewind(file_);
-      const uint64_t written = count_ - edges.size();
-      memory_.resize(static_cast<size_t>(written));
-      SLIM_CHECK_MSG(written == 0 ||
-                         std::fread(memory_.data(), sizeof(WeightedEdge),
-                                    memory_.size(),
-                                    file_) == memory_.size(),
-                     "edge spill readback failed");
-      std::fclose(file_);
-      file_ = nullptr;
-      memory_.insert(memory_.end(), edges.begin(), edges.end());
-    }
-    return;
-  }
-  memory_.insert(memory_.end(), edges.begin(), edges.end());
-}
-
-std::vector<WeightedEdge> EdgeSpill::TakeAll() {
-  std::vector<WeightedEdge> all;
-  if (file_ != nullptr) {
-    std::rewind(file_);
-    all.resize(static_cast<size_t>(count_));
-    SLIM_CHECK_MSG(count_ == 0 ||
-                       std::fread(all.data(), sizeof(WeightedEdge),
-                                  all.size(), file_) == all.size(),
-                   "edge spill readback failed");
-    std::fclose(file_);
-    file_ = nullptr;
+  ShardPlan plan;
+  if (config.shards > 0) {
+    plan = ShardPlan::Fixed(rights, config.shards);
+  } else if (config.shard_memory_budget_bytes == 0 || rights == 0) {
+    plan = ShardPlan::Fixed(rights, 1);
   } else {
-    all = std::move(memory_);
-    memory_.clear();
+    const uint64_t per_entity =
+        EstimateBlockBytesPerEntity(context, rss_before_context);
+    const uint64_t budget = config.shard_memory_budget_bytes;
+    // Smallest K with ceil(rights / K) * per_entity <= budget: at most
+    // floor(budget / per_entity) entities fit one shard, so K must cover
+    // `rights` in chunks of that size (one entity per shard when even a
+    // single entity exceeds the budget — sharding cannot go finer).
+    const uint64_t entities_per_shard = budget / per_entity;
+    const uint64_t shards =
+        entities_per_shard == 0
+            ? rights
+            : (rights + entities_per_shard - 1) / entities_per_shard;
+    plan = ShardPlan::Fixed(
+        rights, static_cast<int>(std::min<uint64_t>(
+                    shards == 0 ? 1 : shards,
+                    static_cast<uint64_t>(std::numeric_limits<int>::max()))));
+    plan.per_entity_bytes = per_entity;
   }
-  count_ = 0;
-  return all;
+  plan.left_ranges =
+      BalancedEntityRanges(context.store_e.size(), config.left_shards);
+  plan.left_shards = static_cast<int>(plan.left_ranges.size());
+  return plan;
 }
 
 Result<LinkageResult> SlimLinker::LinkSharded(
@@ -179,89 +253,49 @@ Result<LinkageResult> SlimLinker::LinkSharded(
 
   // 1. The global context — identical to the monolithic path: IDF, length
   //    norms, the bin vocabulary, and the LSH query grid are dataset-level
-  //    statistics, so they must see both full datasets whatever K is.
+  //    statistics, so they must see both full datasets whatever the plan
+  //    is. With sctx_path set the heap build happens at most once (to
+  //    create the file) and the run proceeds over the mapped image, so the
+  //    steady-state context cost is page cache instead of RSS.
   auto t0 = std::chrono::steady_clock::now();
-  const LinkageContext ctx =
-      LinkageContext::Build(dataset_e, dataset_i, config_.history, threads);
+  LinkageContext ctx;
+  if (config_.sctx_path.empty()) {
+    ctx = LinkageContext::Build(dataset_e, dataset_i, config_.history,
+                                threads);
+  } else {
+    if (!PathExists(config_.sctx_path)) {
+      // Scoped so the heap context dies before the mapped one loads: the
+      // whole point is not paying for both at once.
+      const LinkageContext built = LinkageContext::Build(
+          dataset_e, dataset_i, config_.history, threads);
+      if (Status s = WriteSctx(built, config_.sctx_path); !s.ok()) return s;
+    }
+    SctxReadOptions read_options;
+    // Only the LSH generator probes window trees; brute/grid runs skip the
+    // rebuild and keep the context fully mapped.
+    read_options.build_trees = config_.candidates == CandidateKind::kLsh;
+    read_options.threads = threads;
+    Result<LinkageContext> loaded = ReadSctx(config_.sctx_path, read_options);
+    if (!loaded.ok()) return loaded.status();
+    ctx = std::move(loaded.value());
+  }
   result.seconds_histories = SecondsSince(t0);
   result.rss_peak_histories = CurrentPeakRssBytes();
-  result.possible_pairs = static_cast<uint64_t>(ctx.store_e.size()) *
-                          static_cast<uint64_t>(ctx.store_i.size());
-  if (ctx.store_e.size() == 0 || ctx.store_i.size() == 0) {
-    result.seconds_total = SecondsSince(t_start);
-    result.rss_peak_total = CurrentPeakRssBytes();
-    return result;
-  }
 
-  const ShardPlan plan = EstimateShardPlan(ctx, config_, rss_before_context);
-  result.shards_used = plan.shards;
+  return RunShardedBlocks(config_, threads, ctx, rss_before_context, t_start,
+                          std::move(result));
+}
 
-  // 2/3. Candidates + scoring, one right shard at a time. The shard's
-  //      candidate index lives only for its own block; edges leave through
-  //      the spill so at any instant the process holds one shard's index
-  //      plus one scoring pass's edges. Spilling is pointless at K == 1
-  //      (the merge would reload everything immediately).
-  const SimilarityEngine engine(ctx, config_.similarity);
-  const size_t lefts = ctx.store_e.size();
-  EdgeSpill spill(/*to_disk=*/plan.shards > 1);
-
-  for (const auto& [right_begin, right_end] : plan.ranges) {
-    t0 = std::chrono::steady_clock::now();
-    const std::unique_ptr<CandidateGenerator> generator =
-        MakeShardCandidateGenerator(config_.candidates, ctx, config_.lsh,
-                                    config_.grid, right_begin, right_end,
-                                    threads);
-    result.candidate_pairs += generator->total_candidate_pairs();
-    result.seconds_lsh += SecondsSince(t0);
-    result.rss_peak_lsh = CurrentPeakRssBytes();
-
-    t0 = std::chrono::steady_clock::now();
-    std::vector<std::vector<WeightedEdge>> block_edges(
-        static_cast<size_t>(threads));
-    std::vector<SimilarityStats> block_stats(static_cast<size_t>(threads));
-    ParallelFor(
-        lefts,
-        [&](size_t begin, size_t end, int shard) {
-          auto& edges = block_edges[static_cast<size_t>(shard)];
-          auto& stats = block_stats[static_cast<size_t>(shard)];
-          CellDistanceCache cache;
-          ScoreScratch scratch;
-          for (size_t k = begin; k < end; ++k) {
-            const EntityIdx u_idx = static_cast<EntityIdx>(k);
-            const EntityId u = ctx.store_e.entity_id(u_idx);
-            for (const EntityIdx v_idx : generator->CandidatesFor(u_idx)) {
-              const double s = engine.ScoreIndexed(u_idx, v_idx, &stats,
-                                                   &cache, &scratch);
-              if (s > 0.0) {
-                edges.push_back({u, ctx.store_i.entity_id(v_idx), s});
-              }
-            }
-          }
-          stats.cache_hits += cache.hits();
-          stats.cache_misses += cache.misses();
-        },
-        threads);
-    // Blocks leave in (shard, thread-shard) order — any order works, the
-    // merge re-sorts — and their scratch dies here.
-    for (int shard = 0; shard < threads; ++shard) {
-      result.stats += block_stats[static_cast<size_t>(shard)];
-      spill.Append(std::move(block_edges[static_cast<size_t>(shard)]));
-    }
-    result.seconds_scoring += SecondsSince(t0);
-    result.rss_peak_scoring = CurrentPeakRssBytes();
-  }
-
-  result.spilled_edges = spill.size();
-  result.spill_on_disk = spill.on_disk();
-
-  // 4/5. Deterministic merge into the shared matching + threshold tail:
-  // SealLinkage fixes the canonical (u, v) order, so the shard partition
-  // leaves no trace in the output.
-  internal::SealLinkage(config_, spill.TakeAll(), &result);
-
-  result.seconds_total = SecondsSince(t_start);
-  result.rss_peak_total = CurrentPeakRssBytes();
-  return result;
+Result<LinkageResult> SlimLinker::LinkShardedContext(
+    const LinkageContext& context) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  LinkageResult result;
+  result.candidates_used = config_.candidates;
+  const int threads =
+      config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  result.rss_peak_histories = CurrentPeakRssBytes();
+  return RunShardedBlocks(config_, threads, context, CurrentPeakRssBytes(),
+                          t_start, std::move(result));
 }
 
 }  // namespace slim

@@ -1,64 +1,85 @@
 // Sharded, memory-bounded linkage driver (SlimLinker::LinkSharded).
 //
 // The monolithic pipeline (core/slim.h) materialises one candidate index
-// and the full edge set for the whole right store — fine at the 10k scale,
-// but the candidate + scoring working set is what caps how far one run can
-// go. This driver partitions the right side into K contiguous EntityIdx
-// shards over the dense store and runs
+// and the full edge set for the whole problem — fine at the 10k scale, but
+// the candidate + scoring working set is what caps how far one run can go.
+// This driver partitions BOTH sides into contiguous EntityIdx ranges over
+// the dense stores — L left shards x K right shards — and runs
 //
 //   context (global)  — vocabulary, CSR stores, IDF: built once over BOTH
 //                       full datasets, exactly as the monolithic path does,
 //                       because every score reads dataset-level statistics.
-//   per shard         — a shard-restricted candidate index
-//                       (MakeShardCandidateGenerator) and the scoring of
-//                       every (left, shard) block on the shared ThreadPool;
-//                       the block's positive edges are appended to an edge
-//                       spill and the shard's index is dropped before the
-//                       next shard builds.
-//   merge (global)    — the spilled edges are read back, put into the
-//                       canonical (u, v) order, and handed to the same
-//                       matching + GMM-threshold tail the monolithic driver
-//                       runs (internal::SealLinkage).
+//                       With SlimConfig::sctx_path set the context is
+//                       mmap-backed (core/sctx.h) instead of heap-resident,
+//                       so this stage costs page cache, not RSS.
+//   per block         — a block-restricted candidate index
+//                       (MakeShardCandidateGenerator over one L x K block)
+//                       and the scoring of that block on the shared
+//                       ThreadPool; the block's positive edges stream into
+//                       an external edge sort (core/edge_spill.h) and the
+//                       block's index is dropped before the next block
+//                       builds.
+//   merge (global)    — the spilled runs k-way-merge back in the canonical
+//                       edge orders and feed the same matching + GMM
+//                       threshold tail the monolithic driver runs
+//                       (internal::SealLinkageStreamed); with
+//                       SlimConfig::keep_graph false the greedy matcher
+//                       consumes the score-ordered stream directly and the
+//                       full edge set never lives in memory at once.
 //
-// Because shard candidate sets are exact restrictions of the monolithic
+// Because block candidate sets are exact restrictions of the monolithic
 // candidate set (the LSH query grid and the grid-blocking hotspot cap are
 // taken from the full context — see core/candidates.h) and the merge fixes
-// the same canonical edge order, the links are bit-identical to Link() at
-// every shard count and thread count; tests/test_sharded.cc pins this
-// against the committed goldens. Peak RSS of the candidate + scoring stages
-// scales with the largest shard, not the right store — bench_sharded
-// measures the curve.
+// the same canonical edge orders, the links are bit-identical to Link() at
+// every (L, K, threads) combination; tests/test_sharded.cc pins this
+// against the committed goldens. Peak RSS of the candidate + scoring
+// stages scales with the largest block, not the stores — bench_sharded and
+// bench_scale measure the curves.
 //
 // K comes from SlimConfig::shards, or — when that is 0 — from
 // SlimConfig::shard_memory_budget_bytes via EstimateShardPlan's
-// CurrentPeakRssBytes-calibrated per-entity estimate.
+// CurrentPeakRssBytes-calibrated per-entity estimate. L comes from
+// SlimConfig::left_shards (no budget derivation: the left side splits only
+// when explicitly asked, since a left split re-scans right postings).
 #ifndef SLIM_CORE_SHARDED_H_
 #define SLIM_CORE_SHARDED_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <utility>
 #include <vector>
 
+#include "core/edge_spill.h"
 #include "core/slim.h"
 
 namespace slim {
 
-/// How the right side splits into contiguous EntityIdx shards.
+/// Contiguous [begin, end) ranges that partition [0, count) into `parts`
+/// pieces differing in size by at most one entity (the first count % parts
+/// ranges take the extra one). parts is clamped to [1, max(count, 1)];
+/// count == 0 yields one empty range.
+std::vector<std::pair<EntityIdx, EntityIdx>> BalancedEntityRanges(
+    size_t count, int parts);
+
+/// How the two sides split into contiguous EntityIdx shards. The driver
+/// scores every left_ranges x ranges block, in (left, right) order.
 struct ShardPlan {
-  /// Number of shards K (>= 1; at most the right-store size when that is
-  /// non-zero).
+  /// Number of right shards K (>= 1; at most the right-store size when
+  /// that is non-zero).
   int shards = 1;
-  /// [begin, end) dense right EntityIdx range per shard, in order. Ranges
-  /// are contiguous, disjoint, cover [0, rights), and differ in size by at
-  /// most one entity.
+  /// [begin, end) dense right EntityIdx range per right shard, in order.
   std::vector<std::pair<EntityIdx, EntityIdx>> ranges;
+  /// Number of left shards L (>= 1; at most the left-store size when that
+  /// is non-zero).
+  int left_shards = 1;
+  /// [begin, end) dense left EntityIdx range per left shard, in order.
+  std::vector<std::pair<EntityIdx, EntityIdx>> left_ranges;
   /// The per-right-entity working-set estimate behind a budget-derived
   /// plan, in bytes (0 when the shard count was given explicitly).
   uint64_t per_entity_bytes = 0;
 
-  /// Balanced plan with an explicit shard count (clamped to [1, rights];
-  /// rights == 0 yields one empty shard).
+  /// Balanced right-side plan with an explicit shard count. Fixed() does
+  /// not know the left extent, so left_ranges stays empty (left_shards 1);
+  /// EstimateShardPlan balances it over the actual left store.
   static ShardPlan Fixed(size_t rights, int shards);
 };
 
@@ -75,45 +96,13 @@ struct ShardPlan {
 uint64_t EstimateBlockBytesPerEntity(const LinkageContext& context,
                                      uint64_t rss_before_context);
 
-/// The plan LinkSharded executes: config.shards when positive, else the
+/// The plan LinkSharded executes. K: config.shards when positive, else the
 /// smallest K whose estimated per-block working set
 /// (per_entity_bytes * shard size) fits config.shard_memory_budget_bytes,
-/// else one shard.
+/// else one shard. L: config.left_shards clamped to [1, lefts].
 ShardPlan EstimateShardPlan(const LinkageContext& context,
                             const SlimConfig& config,
                             uint64_t rss_before_context);
-
-/// Bounded-memory edge accumulation across (left, shard) blocks. Blocks
-/// append in deterministic block order; TakeAll() returns every edge in
-/// append order. When `to_disk` is set the edges stream through an
-/// anonymous temporary file (std::tmpfile) so the scoring phase holds only
-/// the current block's edges in memory; if no tmpfile can be created the
-/// spill degrades to an in-memory buffer (on_disk() says which happened).
-class EdgeSpill {
- public:
-  explicit EdgeSpill(bool to_disk);
-  ~EdgeSpill();
-
-  EdgeSpill(const EdgeSpill&) = delete;
-  EdgeSpill& operator=(const EdgeSpill&) = delete;
-
-  /// Appends one block's edges (consumed). Not thread-safe — blocks
-  /// append from the driver thread in block order.
-  void Append(std::vector<WeightedEdge> edges);
-
-  /// Edges appended so far.
-  uint64_t size() const { return count_; }
-  /// Whether edges actually reside in a temporary file.
-  bool on_disk() const { return file_ != nullptr; }
-
-  /// Reads every spilled edge back, in append order, and resets the spill.
-  std::vector<WeightedEdge> TakeAll();
-
- private:
-  std::FILE* file_ = nullptr;       // nullptr -> in-memory fallback
-  std::vector<WeightedEdge> memory_;
-  uint64_t count_ = 0;
-};
 
 }  // namespace slim
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/resource.h"
+#include "core/edge_spill.h"
 
 namespace slim {
 namespace {
@@ -119,26 +121,11 @@ Result<LinkageResult> SlimLinker::Link(const LocationDataset& dataset_e,
 }
 
 namespace internal {
+namespace {
 
-void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
-                 LinkageResult* result) {
-  // Deterministic edge order regardless of thread/shard count. Each (u, v)
-  // pair is scored exactly once, so (u, v) is a total order over the edges.
-  std::sort(edges.begin(), edges.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) {
-              if (a.u != b.u) return a.u < b.u;
-              return a.v < b.v;
-            });
-  result->graph = BipartiteGraph(std::move(edges));
-
-  // Maximum-sum bipartite matching (LinkPairs of Alg. 1).
-  const auto t0 = std::chrono::steady_clock::now();
-  result->matching = config.matcher == MatcherKind::kHungarian
-                         ? HungarianMaxWeightMatching(result->graph)
-                         : GreedyMaxWeightMatching(result->graph);
-  result->seconds_matching = SecondsSince(t0);
-  result->rss_peak_matching = CurrentPeakRssBytes();
-
+// The stop-threshold + final-links tail shared by the materialised and
+// streamed seals: result->matching must already be filled.
+void ApplyStopThreshold(const SlimConfig& config, LinkageResult* result) {
   // Automated stop threshold over the matched edge weights.
   std::vector<double> weights;
   weights.reserve(result->matching.pairs.size());
@@ -164,6 +151,67 @@ void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
               if (a.u != b.u) return a.u < b.u;
               return a.v < b.v;
             });
+}
+
+}  // namespace
+
+void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
+                 LinkageResult* result) {
+  // Deterministic edge order regardless of thread/shard count. Each (u, v)
+  // pair is scored exactly once, so PairEdgeOrder is a total order over
+  // the edges.
+  std::sort(edges.begin(), edges.end(), PairEdgeOrder);
+  result->graph = BipartiteGraph(std::move(edges));
+
+  // Maximum-sum bipartite matching (LinkPairs of Alg. 1).
+  const auto t0 = std::chrono::steady_clock::now();
+  result->matching = config.matcher == MatcherKind::kHungarian
+                         ? HungarianMaxWeightMatching(result->graph)
+                         : GreedyMaxWeightMatching(result->graph);
+  result->seconds_matching = SecondsSince(t0);
+  result->rss_peak_matching = CurrentPeakRssBytes();
+
+  ApplyStopThreshold(config, result);
+}
+
+Status SealLinkageStreamed(const SlimConfig& config, EdgeSpill* spill,
+                           LinkageResult* result) {
+  if (Status s = spill->Seal(); !s.ok()) return s;
+
+  if (config.keep_graph || config.matcher == MatcherKind::kHungarian) {
+    // Materialised path: the (u, v)-ordered stream IS the sealed graph's
+    // edge vector; SealLinkage's sort then finds it already in order, so
+    // this is byte-for-byte the monolithic tail.
+    std::vector<WeightedEdge> edges;
+    edges.reserve(static_cast<size_t>(spill->size()));
+    if (Status s = spill->Scan(
+            EdgeOrder::kPair,
+            [&edges](const WeightedEdge& e) { edges.push_back(e); });
+        !s.ok()) {
+      return s;
+    }
+    SealLinkage(config, std::move(edges), result);
+    return Status::Ok();
+  }
+
+  // Streaming path: the score-ordered merge is exactly the sequence
+  // GreedyMaxWeightMatching sorts into, so offering it incrementally
+  // produces the identical matching while only the matching itself (plus
+  // the used-vertex sets) is resident. The graph stays empty by request.
+  const auto t0 = std::chrono::steady_clock::now();
+  StreamingGreedyMatcher matcher;
+  if (Status s = spill->Scan(
+          EdgeOrder::kScore,
+          [&matcher](const WeightedEdge& e) { matcher.Offer(e); });
+      !s.ok()) {
+    return s;
+  }
+  result->matching = matcher.Take();
+  result->seconds_matching = SecondsSince(t0);
+  result->rss_peak_matching = CurrentPeakRssBytes();
+
+  ApplyStopThreshold(config, result);
+  return Status::Ok();
 }
 
 }  // namespace internal

@@ -14,6 +14,7 @@
 #define SLIM_CORE_SLIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -72,11 +73,17 @@ struct SlimConfig {
   /// thread count.
   int threads = 0;
 
-  /// Right-side shard count for LinkSharded (core/sharded.h). 0 derives the
-  /// count from shard_memory_budget_bytes (1 when no budget is set either);
-  /// K >= 1 forces K contiguous EntityIdx shards. Links are bit-identical
-  /// at every shard count.
+  /// Right-side shard count K for LinkSharded (core/sharded.h). 0 derives
+  /// the count from shard_memory_budget_bytes (1 when no budget is set
+  /// either); K >= 1 forces K contiguous EntityIdx shards. Links are
+  /// bit-identical at every shard count.
   int shards = 0;
+
+  /// Left-side shard count L for LinkSharded. The driver scores L x K
+  /// blocks, so the candidate index and scoring working set scale with one
+  /// block of each side instead of the full left store. <= 1 keeps the left
+  /// side whole. Links are bit-identical at every (L, K).
+  int left_shards = 0;
 
   /// Approximate peak-memory budget for the candidate + scoring block of
   /// one shard, in bytes. Only consulted when shards == 0: the driver
@@ -84,6 +91,28 @@ struct SlimConfig {
   /// fits the budget (see EstimateShardPlan in core/sharded.h for the
   /// CurrentPeakRssBytes-calibrated estimate). 0 means unbounded.
   uint64_t shard_memory_budget_bytes = 0;
+
+  /// When non-empty, LinkSharded runs against an mmap-backed SCTX context
+  /// (core/sctx.h) at this path instead of a heap-resident one: an existing
+  /// file is mapped directly (the datasets are not re-interned); a missing
+  /// file is built from the datasets, serialized, and the heap copy freed
+  /// before mapping. Scores and links are bit-identical either way.
+  std::string sctx_path;
+
+  /// Run-buffer budget for the sharded driver's external edge sort
+  /// (core/edge_spill.h): edges accumulate up to this many bytes before one
+  /// sorted run spills; the k-way merge's read buffers share the same
+  /// bound. Only a memory/IO trade-off — never affects links.
+  uint64_t spill_run_bytes = uint64_t{64} << 20;
+
+  /// When false, LinkSharded skips materialising LinkageResult::graph (the
+  /// full positive-score edge set) and streams edges straight into the
+  /// greedy matcher in score order — the O(edges) -> O(matching) memory
+  /// step the 1M-scale preset needs. Links, matching, and threshold are
+  /// bit-identical; only `graph` comes back empty. Ignored (treated as
+  /// true) by the monolithic Link() and by the Hungarian matcher, which
+  /// needs the whole graph resident anyway.
+  bool keep_graph = true;
 };
 
 /// One linked entity pair (u from E, v from I) and its similarity score.
@@ -143,10 +172,15 @@ struct LinkageResult {
   /// monolithic path). spilled_edges counts edges that passed through the
   /// per-block spill before the merge; spill_on_disk says whether the spill
   /// actually reached a temporary file (it degrades to memory when no
-  /// tmpfile is available).
+  /// tmpfile is available). spill_bytes_written totals spill-file writes
+  /// including the resort pass; merge_passes counts k-way merges the
+  /// external sort ran (core/edge_spill.h).
   int shards_used = 1;
+  int left_shards_used = 1;
   uint64_t spilled_edges = 0;
   bool spill_on_disk = false;
+  uint64_t spill_bytes_written = 0;
+  int merge_passes = 0;
 };
 
 /// The SLIM linkage algorithm (Alg. 1). Construct once per configuration and
@@ -164,19 +198,32 @@ class SlimLinker {
                              const LocationDataset& dataset_i) const;
 
   /// The sharded, memory-bounded driver (core/sharded.h): candidates and
-  /// scoring run per contiguous right-side shard — config().shards of them,
-  /// or as many as config().shard_memory_budget_bytes demands — with
-  /// per-block edge spill, then one global matching + threshold pass.
-  /// Links, matching, graph, and stats sums are bit-identical to Link() at
-  /// every shard count and thread count; peak memory of the candidate +
-  /// scoring stages scales with the largest shard instead of the full
-  /// right store. Implemented in core/sharded.cc.
+  /// scoring run per L x K block — config().left_shards x config().shards
+  /// of them, or as many right shards as
+  /// config().shard_memory_budget_bytes demands — with the block edges
+  /// streaming through an external sort, then one global matching +
+  /// threshold pass. Links, matching, graph (when kept), and stats sums
+  /// are bit-identical to Link() at every (L, K, threads); peak memory of
+  /// the candidate + scoring stages scales with the largest block instead
+  /// of the full stores. With config().sctx_path set, the context is
+  /// serialized/mapped via core/sctx.h instead of held on the heap.
+  /// Implemented in core/sharded.cc.
   Result<LinkageResult> LinkSharded(const LocationDataset& dataset_e,
                                     const LocationDataset& dataset_i) const;
+
+  /// LinkSharded's block + merge stages over an already-built context —
+  /// e.g. one mapped from an SCTX file (core/sctx.h) so the datasets never
+  /// re-intern. `context` must outlive the call; result timings report 0
+  /// for the context-build phase. When config().candidates == kLsh the
+  /// context must have its window trees (HistoryStore::has_trees).
+  Result<LinkageResult> LinkShardedContext(const LinkageContext& context)
+      const;
 
  private:
   SlimConfig config_;
 };
+
+class EdgeSpill;  // core/edge_spill.h
 
 namespace internal {
 
@@ -187,6 +234,18 @@ namespace internal {
 /// may arrive in any order; equal results in, equal results out.
 void SealLinkage(const SlimConfig& config, std::vector<WeightedEdge> edges,
                  LinkageResult* result);
+
+/// The streaming form of SealLinkage over an external edge sort
+/// (core/edge_spill.h): seals the spill, then either materialises the
+/// (u, v)-ordered stream into the graph and delegates to SealLinkage
+/// (keep_graph, or the Hungarian matcher, which needs the graph resident),
+/// or feeds the (weight desc, u, v)-ordered stream straight into the
+/// incremental greedy matcher so only the matching is ever held in memory.
+/// Both paths produce bit-identical links/matching/threshold; the
+/// streaming path leaves result->graph empty. IoError from a truncated or
+/// corrupt spill propagates; `result` is unusable on error.
+Status SealLinkageStreamed(const SlimConfig& config, EdgeSpill* spill,
+                           LinkageResult* result);
 
 }  // namespace internal
 

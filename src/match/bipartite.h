@@ -21,6 +21,15 @@ struct WeightedEdge {
   bool operator==(const WeightedEdge&) const = default;
 };
 
+/// The canonical (u, v) edge order every driver seals its edge set into.
+/// A total order whenever each (u, v) pair appears once (each pair is
+/// scored exactly once), so the sealed graph is independent of thread,
+/// shard, and spill-run boundaries.
+inline bool PairEdgeOrder(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
 /// Edge-list bipartite graph. Vertices are implicit (any EntityId may
 /// appear); parallel edges are not checked — callers add each (u, v) once.
 class BipartiteGraph {

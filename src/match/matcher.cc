@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
 
@@ -18,25 +19,37 @@ bool Matching::IsValidMatching() const {
   return true;
 }
 
+bool GreedyEdgeOrder(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+void StreamingGreedyMatcher::Offer(const WeightedEdge& edge) {
+  SLIM_DCHECK(!any_ || !GreedyEdgeOrder(edge, last_));
+  last_ = edge;
+  any_ = true;
+  if (used_u_.count(edge.u) || used_v_.count(edge.v)) return;
+  used_u_.insert(edge.u);
+  used_v_.insert(edge.v);
+  matching_.pairs.push_back(edge);
+  matching_.total_weight += edge.weight;
+}
+
+Matching StreamingGreedyMatcher::Take() {
+  SLIM_DCHECK(matching_.IsValidMatching());
+  used_u_.clear();
+  used_v_.clear();
+  any_ = false;
+  return std::move(matching_);
+}
+
 Matching GreedyMaxWeightMatching(const BipartiteGraph& graph) {
   std::vector<WeightedEdge> edges = graph.edges();
-  std::sort(edges.begin(), edges.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) {
-              if (a.weight != b.weight) return a.weight > b.weight;
-              if (a.u != b.u) return a.u < b.u;
-              return a.v < b.v;
-            });
-  Matching m;
-  std::unordered_set<EntityId> used_u, used_v;
-  for (const auto& e : edges) {
-    if (used_u.count(e.u) || used_v.count(e.v)) continue;
-    used_u.insert(e.u);
-    used_v.insert(e.v);
-    m.pairs.push_back(e);
-    m.total_weight += e.weight;
-  }
-  SLIM_DCHECK(m.IsValidMatching());
-  return m;
+  std::sort(edges.begin(), edges.end(), GreedyEdgeOrder);
+  StreamingGreedyMatcher matcher;
+  for (const auto& e : edges) matcher.Offer(e);
+  return matcher.Take();
 }
 
 Matching HungarianMaxWeightMatching(const BipartiteGraph& graph) {

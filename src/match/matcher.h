@@ -9,6 +9,7 @@
 #ifndef SLIM_MATCH_MATCHER_H_
 #define SLIM_MATCH_MATCHER_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "match/bipartite.h"
@@ -24,9 +25,34 @@ struct Matching {
   bool IsValidMatching() const;
 };
 
+/// Comparator fixing the greedy selection order: heaviest edge first, ties
+/// broken on (u, v). A total order whenever each (u, v) pair appears once,
+/// which makes the greedy matching independent of how the edges were
+/// produced — the property the external (run-merged) edge path relies on.
+bool GreedyEdgeOrder(const WeightedEdge& a, const WeightedEdge& b);
+
+/// Incremental greedy matcher for edge streams that already arrive in
+/// GreedyEdgeOrder (e.g. the external matcher's score-ordered merge,
+/// core/edge_spill.h). Offer() consumes one edge at a time, so the full
+/// edge set never needs to be resident; Take() finalises. Offering edges
+/// out of order is a programming error (SLIM_DCHECKed).
+class StreamingGreedyMatcher {
+ public:
+  void Offer(const WeightedEdge& edge);
+  Matching Take();
+
+ private:
+  Matching matching_;
+  std::unordered_set<EntityId> used_u_, used_v_;
+  WeightedEdge last_;
+  bool any_ = false;
+};
+
 /// Greedy maximum-sum matching: repeatedly selects the heaviest remaining
 /// edge whose endpoints are both unmatched. Deterministic: ties break on
-/// (u, v). O(E log E).
+/// (u, v). O(E log E). Equivalent to sorting by GreedyEdgeOrder and
+/// streaming through StreamingGreedyMatcher (and implemented that way, so
+/// the in-memory and streamed paths cannot drift).
 Matching GreedyMaxWeightMatching(const BipartiteGraph& graph);
 
 /// Exact maximum-weight bipartite matching via the Hungarian algorithm

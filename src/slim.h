@@ -48,11 +48,13 @@
 #include "lsh/signature.h"  // IWYU pragma: export
 
 #include "core/candidates.h"       // IWYU pragma: export
+#include "core/edge_spill.h"       // IWYU pragma: export
 #include "core/history.h"          // IWYU pragma: export
 #include "core/linkage_context.h"  // IWYU pragma: export
 #include "core/pairing.h"          // IWYU pragma: export
 #include "core/proximity.h"        // IWYU pragma: export
 #include "core/score_kernel.h"     // IWYU pragma: export
+#include "core/sctx.h"             // IWYU pragma: export
 #include "core/sharded.h"          // IWYU pragma: export
 #include "core/similarity.h"       // IWYU pragma: export
 #include "core/slim.h"        // IWYU pragma: export

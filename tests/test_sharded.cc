@@ -1,15 +1,21 @@
 // The sharded linkage driver's contract (core/sharded.h):
 //
-//   * LinkSharded is bit-identical to the monolithic Link at every shard
-//     count x thread count, for every candidate generator — including
-//     against the committed pre-refactor goldens (tests/golden/), pinned at
-//     shard counts {1, 2, 7} x threads {1, 8}.
-//   * Shard-restricted candidate generators are exact restrictions of the
-//     monolithic candidate set (the union over a partition reproduces it).
+//   * LinkSharded is bit-identical to the monolithic Link at every
+//     (left shards x right shards x threads), for every candidate
+//     generator — including against the committed pre-refactor goldens
+//     (tests/golden/), and with the graph-free streaming matcher.
+//   * Block-restricted candidate generators are exact restrictions of the
+//     monolithic candidate set (the union over an L x K block partition
+//     reproduces it).
 //   * The shard planner covers [0, rights) with balanced contiguous
 //     ranges, honors explicit counts, and derives counts from the memory
 //     budget.
-//   * The edge spill round-trips blocks losslessly, on disk and in memory.
+//   * The external edge sort (core/edge_spill.h) replays every appended
+//     edge exactly once in both global orders, on disk and in memory,
+//     degrades to memory when no spill file can be created, and surfaces a
+//     corrupt spill as IoError instead of crashing.
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -18,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "common/resource.h"
+#include "core/edge_spill.h"
 #include "slim.h"
 
 namespace slim {
@@ -139,7 +146,7 @@ TEST(ShardPlan, PerEntityEstimateHasAFloor) {
   EXPECT_GE(EstimateBlockBytesPerEntity(ctx, CurrentPeakRssBytes()), 64u);
 }
 
-// ---- Edge spill. ----
+// ---- External edge sort. ----
 
 std::vector<WeightedEdge> MakeEdges(int base, int n) {
   std::vector<WeightedEdge> edges;
@@ -149,30 +156,124 @@ std::vector<WeightedEdge> MakeEdges(int base, int n) {
   return edges;
 }
 
-TEST(EdgeSpill, RoundTripsBlocksInAppendOrder) {
+std::vector<WeightedEdge> CollectScan(EdgeSpill* spill, EdgeOrder order) {
+  std::vector<WeightedEdge> out;
+  const Status s =
+      spill->Scan(order, [&out](const WeightedEdge& e) { out.push_back(e); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(EdgeSpill, ScansBothGlobalOrdersOnDiskAndInMemory) {
   for (const bool to_disk : {false, true}) {
-    EdgeSpill spill(to_disk);
+    EdgeSpillOptions options;
+    options.to_disk = to_disk;
+    // Two edges per run: multiple runs and a real k-way merge on disk.
+    options.run_bytes = 2 * sizeof(WeightedEdge);
+    EdgeSpill spill(options);
     EXPECT_EQ(spill.size(), 0u);
     spill.Append(MakeEdges(100, 3));
     spill.Append({});  // empty blocks are legal
-    spill.Append(MakeEdges(7, 2));
-    EXPECT_EQ(spill.size(), 5u);
+    spill.Append(MakeEdges(7, 4));
+    ASSERT_TRUE(spill.Seal().ok());
+    EXPECT_EQ(spill.size(), 7u);
+    if (to_disk && spill.on_disk()) {
+      EXPECT_GT(spill.run_count(), 1u);
+      EXPECT_EQ(spill.spill_bytes_written(), 7 * sizeof(WeightedEdge));
+    }
 
-    std::vector<WeightedEdge> expected = MakeEdges(100, 3);
-    const std::vector<WeightedEdge> tail = MakeEdges(7, 2);
-    expected.insert(expected.end(), tail.begin(), tail.end());
-    EXPECT_EQ(spill.TakeAll(), expected) << "to_disk=" << to_disk;
-    EXPECT_EQ(spill.size(), 0u);
-    EXPECT_EQ(spill.TakeAll(), std::vector<WeightedEdge>{});
+    std::vector<WeightedEdge> all = MakeEdges(100, 3);
+    const std::vector<WeightedEdge> tail = MakeEdges(7, 4);
+    all.insert(all.end(), tail.begin(), tail.end());
+
+    std::vector<WeightedEdge> by_pair = all;
+    std::sort(by_pair.begin(), by_pair.end(), PairEdgeOrder);
+    std::vector<WeightedEdge> by_score = all;
+    std::sort(by_score.begin(), by_score.end(), GreedyEdgeOrder);
+
+    // Both orders, and both again: scans are repeatable. Scanning the
+    // non-run order exercises the resort + second merge path on disk.
+    EXPECT_EQ(CollectScan(&spill, EdgeOrder::kPair), by_pair)
+        << "to_disk=" << to_disk;
+    EXPECT_EQ(CollectScan(&spill, EdgeOrder::kScore), by_score)
+        << "to_disk=" << to_disk;
+    EXPECT_EQ(CollectScan(&spill, EdgeOrder::kPair), by_pair);
+    EXPECT_EQ(CollectScan(&spill, EdgeOrder::kScore), by_score);
+    if (to_disk && spill.on_disk()) {
+      EXPECT_EQ(spill.merge_passes(), 4);
+      // The resort pass rewrites every edge exactly once, lazily.
+      EXPECT_EQ(spill.spill_bytes_written(), 14 * sizeof(WeightedEdge));
+    }
   }
 }
 
+TEST(EdgeSpill, SealIsIdempotentAndEmptySpillScansNothing) {
+  EdgeSpillOptions options;
+  options.to_disk = true;
+  EdgeSpill spill(options);
+  ASSERT_TRUE(spill.Seal().ok());
+  ASSERT_TRUE(spill.Seal().ok());
+  EXPECT_EQ(CollectScan(&spill, EdgeOrder::kPair), std::vector<WeightedEdge>{});
+  EXPECT_EQ(CollectScan(&spill, EdgeOrder::kScore),
+            std::vector<WeightedEdge>{});
+}
+
 TEST(EdgeSpill, DiskSpillActuallyUsesAFile) {
-  EdgeSpill spill(/*to_disk=*/true);
+  EdgeSpillOptions options;
+  options.to_disk = true;
+  EdgeSpill spill(options);
   if (!spill.on_disk()) GTEST_SKIP() << "no tmpfile on this platform";
   spill.Append(MakeEdges(1, 4));
+  ASSERT_TRUE(spill.Seal().ok());
   EXPECT_TRUE(spill.on_disk());
-  EXPECT_EQ(spill.TakeAll(), MakeEdges(1, 4));
+  std::vector<WeightedEdge> expected = MakeEdges(1, 4);
+  std::sort(expected.begin(), expected.end(), PairEdgeOrder);
+  EXPECT_EQ(CollectScan(&spill, EdgeOrder::kPair), expected);
+}
+
+TEST(EdgeSpill, FallsBackToMemoryWhenTheSpillFileCannotBeCreated) {
+  EdgeSpillOptions options;
+  options.to_disk = true;
+  // A path whose directory does not exist: creation must fail, and the
+  // spill must degrade to the in-memory buffer instead of crashing.
+  options.spill_path = "/nonexistent-slim-spill-dir/spill.bin";
+  EdgeSpill spill(options);
+  EXPECT_FALSE(spill.on_disk());
+  spill.Append(MakeEdges(1, 4));
+  ASSERT_TRUE(spill.Seal().ok());
+  EXPECT_EQ(spill.run_count(), 0u);
+  std::vector<WeightedEdge> expected = MakeEdges(1, 4);
+  std::sort(expected.begin(), expected.end(), GreedyEdgeOrder);
+  EXPECT_EQ(CollectScan(&spill, EdgeOrder::kScore), expected);
+}
+
+TEST(EdgeSpill, TruncatedSpillSurfacesAsIoErrorNotACrash) {
+  const std::string path = ::testing::TempDir() + "/slim_spill_corrupt.bin";
+  EdgeSpillOptions options;
+  options.to_disk = true;
+  options.run_bytes = 2 * sizeof(WeightedEdge);
+  options.spill_path = path;
+  EdgeSpill spill(options);
+  if (!spill.on_disk()) GTEST_SKIP() << "cannot create " << path;
+  spill.Append(MakeEdges(1, 3));
+  spill.Append(MakeEdges(20, 3));
+  spill.Append(MakeEdges(40, 2));
+  ASSERT_TRUE(spill.Seal().ok());
+  ASSERT_GT(spill.run_count(), 1u);
+
+  // Truncate the live spill behind the spill's back: the recorded run
+  // extents now point past EOF, so the merge's reads come up short.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  const Status pair_scan =
+      spill.Scan(EdgeOrder::kPair, [](const WeightedEdge&) {});
+  EXPECT_FALSE(pair_scan.ok());
+  const Status score_scan =
+      spill.Scan(EdgeOrder::kScore, [](const WeightedEdge&) {});
+  EXPECT_FALSE(score_scan.ok());
 }
 
 // ---- Shard-restricted candidate generation. ----
@@ -186,13 +287,15 @@ TEST_P(ShardCandidates, UnionOverAPartitionEqualsTheFullGenerator) {
   const auto full = MakeCandidateGenerator(GetParam(), ctx, defaults.lsh,
                                            defaults.grid, 1);
 
+  const EntityIdx lefts = static_cast<EntityIdx>(ctx.store_e.size());
   for (const int shards : {2, 7}) {
     const ShardPlan plan = ShardPlan::Fixed(ctx.store_i.size(), shards);
     std::vector<std::unique_ptr<CandidateGenerator>> parts;
     uint64_t total = 0;
     for (const auto& [begin, end] : plan.ranges) {
-      parts.push_back(MakeShardCandidateGenerator(
-          GetParam(), ctx, defaults.lsh, defaults.grid, begin, end, 1));
+      parts.push_back(MakeShardCandidateGenerator(GetParam(), ctx,
+                                                  defaults.lsh, defaults.grid,
+                                                  0, lefts, begin, end, 1));
       total += parts.back()->total_candidate_pairs();
       EXPECT_EQ(parts.back()->name(), full->name());
     }
@@ -218,6 +321,46 @@ TEST_P(ShardCandidates, UnionOverAPartitionEqualsTheFullGenerator) {
   }
 }
 
+TEST_P(ShardCandidates, LeftRightBlockGridEqualsTheFullGenerator) {
+  const LinkageContext ctx =
+      LinkageContext::Build(Sample().a, Sample().b, HistoryConfig{}, 1);
+  const SlimConfig defaults;
+  const auto full = MakeCandidateGenerator(GetParam(), ctx, defaults.lsh,
+                                           defaults.grid, 1);
+
+  // A 3 x 4 block grid: every left entity appears in exactly one row of
+  // blocks, and its candidate list is the row's concatenation in right
+  // order — the exact-restriction property the L x K driver relies on.
+  const auto left_ranges = BalancedEntityRanges(ctx.store_e.size(), 3);
+  const auto right_ranges = BalancedEntityRanges(ctx.store_i.size(), 4);
+  uint64_t total = 0;
+  for (const auto& [left_begin, left_end] : left_ranges) {
+    std::vector<std::unique_ptr<CandidateGenerator>> row;
+    for (const auto& [right_begin, right_end] : right_ranges) {
+      row.push_back(MakeShardCandidateGenerator(
+          GetParam(), ctx, defaults.lsh, defaults.grid, left_begin, left_end,
+          right_begin, right_end, 1));
+      total += row.back()->total_candidate_pairs();
+    }
+    for (EntityIdx u = left_begin; u < left_end; ++u) {
+      std::vector<EntityIdx> merged;
+      for (size_t s = 0; s < row.size(); ++s) {
+        const auto span = row[s]->CandidatesFor(u);
+        for (const EntityIdx v : span) {
+          EXPECT_GE(v, right_ranges[s].first);
+          EXPECT_LT(v, right_ranges[s].second);
+        }
+        merged.insert(merged.end(), span.begin(), span.end());
+      }
+      const auto expected = full->CandidatesFor(u);
+      ASSERT_EQ(merged, std::vector<EntityIdx>(expected.begin(),
+                                               expected.end()))
+          << "left " << u;
+    }
+  }
+  EXPECT_EQ(total, full->total_candidate_pairs());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllGenerators, ShardCandidates,
                          ::testing::Values(CandidateKind::kLsh,
                                            CandidateKind::kBruteForce,
@@ -238,28 +381,65 @@ TEST_P(ShardedDriver, MatchesTheMonolithicPathAtEveryShardAndThreadCount) {
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
   ASSERT_GT(reference->links.size(), 0u);
 
-  for (const int shards : {1, 2, 7}) {
+  for (const auto& [left_shards, shards] :
+       std::vector<std::pair<int, int>>{{1, 1}, {1, 2}, {1, 7}, {2, 2},
+                                        {3, 7}}) {
     for (const int threads : {1, 8}) {
+      config.left_shards = left_shards;
       config.shards = shards;
       config.threads = threads;
       const auto sharded = SlimLinker(config).LinkSharded(Sample().a,
                                                           Sample().b);
       ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
       EXPECT_EQ(sharded->shards_used, shards);
+      EXPECT_EQ(sharded->left_shards_used, left_shards);
       EXPECT_EQ(sharded->candidates_used, GetParam());
       // Every positive-score edge passes through the spill; the medium is
-      // a temp file only when K > 1 (spilling at K == 1 would reload
-      // everything immediately).
+      // a temp file only when L x K > 1 (spilling a single block would
+      // reload everything immediately).
       EXPECT_EQ(sharded->spilled_edges, sharded->graph.num_edges());
-      if (shards == 1) {
+      if (left_shards * shards == 1) {
         EXPECT_FALSE(sharded->spill_on_disk);
       }
       ExpectIdenticalResults(
           *reference, *sharded,
-          StrFormat("%s shards=%d threads=%d",
+          StrFormat("%s left_shards=%d shards=%d threads=%d",
                     std::string(CandidateKindName(GetParam())).c_str(),
-                    shards, threads));
+                    left_shards, shards, threads));
     }
+  }
+}
+
+TEST_P(ShardedDriver, StreamingMatcherMatchesWithoutTheGraph) {
+  SlimConfig config;
+  config.candidates = GetParam();
+  config.threads = 2;
+  const auto reference = SlimLinker(config).Link(Sample().a, Sample().b);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->links.size(), 0u);
+
+  // keep_graph = false: edges stream from the score-ordered merge straight
+  // into the greedy matcher; links/matching/threshold must still be
+  // bit-identical, with only the graph left empty.
+  config.keep_graph = false;
+  config.left_shards = 2;
+  config.shards = 3;
+  const auto streamed = SlimLinker(config).LinkSharded(Sample().a, Sample().b);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(streamed->graph.num_edges(), 0u);
+  EXPECT_EQ(streamed->links, reference->links);
+  EXPECT_EQ(streamed->matching.pairs, reference->matching.pairs);
+  EXPECT_DOUBLE_EQ(streamed->matching.total_weight,
+                   reference->matching.total_weight);
+  EXPECT_EQ(streamed->threshold_valid, reference->threshold_valid);
+  if (streamed->threshold_valid) {
+    EXPECT_DOUBLE_EQ(streamed->threshold.threshold,
+                     reference->threshold.threshold);
+  }
+  EXPECT_EQ(streamed->spilled_edges, reference->graph.num_edges());
+  // The score-ordered runs merge in a single pass: no resort needed.
+  if (streamed->spill_on_disk) {
+    EXPECT_EQ(streamed->merge_passes, 1);
   }
 }
 
@@ -361,20 +541,26 @@ TEST_F(ShardedGoldenLinks, EveryGeneratorShardCountAndThreadCount) {
       {CandidateKind::kBruteForce, "quick_links_brute.csv"},
       {CandidateKind::kGrid, "quick_links_grid.csv"},
   };
+  // The (L, K) plans the 1M methodology gates on (docs/BENCHMARKS.md),
+  // plus the legacy right-only counts the pre-refactor goldens pinned.
+  const std::pair<int, int> plans[] = {{1, 1}, {1, 2}, {1, 7},
+                                       {2, 4}, {4, 16}};
   for (const auto& c : cases) {
     const std::vector<std::string> golden = ReadLines(GoldenPath(c.golden));
     ASSERT_GT(golden.size(), 0u) << c.golden;
-    for (const int shards : {1, 2, 7}) {
+    for (const auto& [left_shards, shards] : plans) {
       for (const int threads : {1, 8}) {
         SlimConfig config;
         config.candidates = c.kind;
+        config.left_shards = left_shards;
         config.shards = shards;
         config.threads = threads;
         const auto result =
             SlimLinker(config).LinkSharded(A(), B());
         ASSERT_TRUE(result.ok()) << result.status().ToString();
         EXPECT_EQ(FormatLinks(result->links), golden)
-            << c.golden << " shards=" << shards << " threads=" << threads;
+            << c.golden << " left_shards=" << left_shards
+            << " shards=" << shards << " threads=" << threads;
       }
     }
   }

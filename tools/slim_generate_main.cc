@@ -25,9 +25,12 @@ void Usage() {
       "--out_prefix PFX [options]\n"
       "       slim_generate --preset sm100k --out_prefix PFX [options]\n"
       "options:\n"
-      "  --preset NAME      named scenario; sm100k is the 100k-entities-\n"
+      "  --preset NAME      named scenario: sm100k is the 100k-entities-\n"
       "                     per-side SM experiment the sharded driver\n"
-      "                     targets (slim_link --shards; docs/BENCHMARKS.md)\n"
+      "                     targets (slim_link --shards; docs/BENCHMARKS.md);\n"
+      "                     sm1m is the 1M-per-side scale the mmap + external-\n"
+      "                     matcher pipeline targets (slim_link --sctx\n"
+      "                     --left_shards --no_graph)\n"
       "  --format KIND      output dataset format: auto|csv|sbin\n"
       "                     (auto picks sbin for *.sbin paths, else csv)\n"
       "  --entities N       entities in the master workload\n"
@@ -95,9 +98,19 @@ int main(int argc, char** argv) {
     defaults.entities_sm = 200000;
     defaults.side_entities = 100000;
     defaults.experiment = true;
+  } else if (preset == "sm1m") {
+    // The 1M-entities-per-side scenario: a 2M-user SM master sampled into
+    // two 1M-entity sides — the scale the mmap-backed context + external
+    // matcher target (docs/BENCHMARKS.md, "Scaling to 1M entities per
+    // side"). Use --format sbin: the CSV forms are tens of GB slower to
+    // parse than the whole linkage run.
+    defaults.workload = "sm";
+    defaults.entities_sm = 2000000;
+    defaults.side_entities = 1000000;
+    defaults.experiment = true;
   } else if (!preset.empty()) {
     slim::tools::Flags::Fail("unknown --preset: " + preset +
-                             " (expected sm100k)");
+                             " (expected sm100k|sm1m)");
   }
   const std::string workload =
       flags.GetString("workload", defaults.workload);

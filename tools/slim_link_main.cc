@@ -9,7 +9,9 @@
 //             [--lsh_level N] [--lsh_step N] [--lsh_threshold T]
 //             [--lsh_buckets N] [--threshold gmm|otsu|two_means|none]
 //             [--matcher greedy|hungarian] [--threads N] [--region_radius_m R]
-//             [--shards K | --memory_budget_mb M] [--bench_json PATH]
+//             [--shards K | --memory_budget_mb M] [--left_shards L]
+//             [--sctx PATH] [--no_graph] [--spill_run_mb M]
+//             [--bench_json PATH]
 //
 // Inputs: CSV (entity_id,lat,lng,timestamp epoch seconds, header optional)
 // or SBIN (docs/ARCHITECTURE.md#data); --format=auto sniffs each file.
@@ -82,6 +84,21 @@ void Usage() {
       "  --memory_budget_mb M  run the sharded driver with as many shards\n"
       "                        as an M-MB per-block budget demands\n"
       "                        (ignored when --shards is given)\n"
+      "  --left_shards L       sharded driver: also split the LEFT side\n"
+      "                        into L contiguous shards (L x K blocks);\n"
+      "                        links are bit-identical at every (L, K)\n"
+      "  --sctx PATH           sharded driver: serialize the built context\n"
+      "                        to PATH on first use, then memory-map it\n"
+      "                        read-only (SCTX; core/sctx.h). An existing\n"
+      "                        file is mapped directly without re-interning\n"
+      "                        the datasets\n"
+      "  --no_graph            sharded driver: skip materialising the edge\n"
+      "                        graph and stream score-ordered edges into\n"
+      "                        the greedy matcher (bounded memory; links\n"
+      "                        are bit-identical, the bench JSON just\n"
+      "                        lacks graph-derived fields)\n"
+      "  --spill_run_mb M      sharded driver: external-sort run-buffer\n"
+      "                        budget in MB (default 64)\n"
       "  --report PATH         also write a markdown linkage report\n"
       "  --bench_json PATH     also write per-stage wall times, distance-\n"
       "                        cache efficacy, peak RSS, and shard\n"
@@ -171,16 +188,27 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("lsh_buckets", 4096));
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
   config.shards = static_cast<int>(flags.GetInt("shards", 0));
+  config.left_shards = static_cast<int>(flags.GetInt("left_shards", 0));
   const long long budget_mb = flags.GetInt("memory_budget_mb", 0);
   if (budget_mb < 0) {
     slim::tools::Flags::Fail("--memory_budget_mb must be >= 0");
   }
   config.shard_memory_budget_bytes =
       static_cast<uint64_t>(budget_mb) * (uint64_t{1} << 20);
-  // Either sharding knob selects the sharded driver; otherwise the
+  config.sctx_path = flags.GetString("sctx", "");
+  config.keep_graph = !flags.GetBool("no_graph", false);
+  const long long spill_run_mb = flags.GetInt("spill_run_mb", 64);
+  if (spill_run_mb <= 0) {
+    slim::tools::Flags::Fail("--spill_run_mb must be > 0");
+  }
+  config.spill_run_bytes =
+      static_cast<uint64_t>(spill_run_mb) * (uint64_t{1} << 20);
+  // Any sharding/scale knob selects the sharded driver; otherwise the
   // monolithic path runs (the outputs are bit-identical either way).
-  const bool use_sharded = config.shards > 0 ||
-                           config.shard_memory_budget_bytes > 0;
+  const bool use_sharded =
+      config.shards > 0 || config.left_shards > 1 ||
+      config.shard_memory_budget_bytes > 0 || !config.sctx_path.empty() ||
+      !config.keep_graph;
 
   const std::string thr = flags.GetString("threshold", "gmm");
   if (thr == "gmm") {
@@ -218,10 +246,15 @@ int main(int argc, char** argv) {
   if (!result.ok()) slim::tools::Flags::Fail(result.status().ToString());
 
   if (use_sharded) {
-    std::fprintf(stderr, "sharded driver: %d shard(s), %llu edges via %s\n",
-                 result->shards_used,
-                 static_cast<unsigned long long>(result->spilled_edges),
-                 result->spill_on_disk ? "disk spill" : "memory");
+    std::fprintf(
+        stderr,
+        "sharded driver: %d x %d block(s), %llu edges via %s "
+        "(%llu spill bytes, %d merge pass(es))\n",
+        result->left_shards_used, result->shards_used,
+        static_cast<unsigned long long>(result->spilled_edges),
+        result->spill_on_disk ? "disk spill" : "memory",
+        static_cast<unsigned long long>(result->spill_bytes_written),
+        result->merge_passes);
   }
   std::fprintf(stderr,
                "scored %llu of %llu pairs; %zu matched; %zu linked "
@@ -255,8 +288,11 @@ int main(int argc, char** argv) {
         "  \"entities_b\": %zu,\n"
         "  \"threads\": %d,\n"
         "  \"shards\": %d,\n"
+        "  \"left_shards\": %d,\n"
         "  \"spilled_edges\": %llu,\n"
         "  \"spill_on_disk\": %s,\n"
+        "  \"spill_bytes_written\": %llu,\n"
+        "  \"merge_passes\": %d,\n"
         "  \"candidates\": \"%s\",\n"
         "  \"kernel\": \"%s\",\n"
         "  \"candidate_pairs\": %llu,\n"
@@ -284,9 +320,11 @@ int main(int argc, char** argv) {
         JsonEscape(path_a).c_str(), JsonEscape(path_b).c_str(),
         a->num_entities(), b->num_entities(),
         config.threads > 0 ? config.threads : slim::DefaultThreadCount(),
-        result->shards_used,
+        result->shards_used, result->left_shards_used,
         static_cast<unsigned long long>(result->spilled_edges),
         result->spill_on_disk ? "true" : "false",
+        static_cast<unsigned long long>(result->spill_bytes_written),
+        result->merge_passes,
         std::string(slim::CandidateKindName(result->candidates_used)).c_str(),
         slim::ScoreKernelName(slim::ResolveScoreKernel(*kernel)),
         static_cast<unsigned long long>(result->candidate_pairs),
