@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/build_info.h"
 #include "eval/table.h"
 
 namespace slim {
@@ -221,6 +222,7 @@ int Main(int argc, char** argv) {
   bench::JsonWriter json;
   json.BeginObject();
   json.Key("schema").Value("slim-bench-pipeline-v2");
+  json.Key("build").Value(slim::BuildGitDescribe());
   json.Key("workload").Value("checkin");
   json.Key("quick").Value(quick);
   json.Key("hardware_threads")

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/build_info.h"
 #include "eval/table.h"
 
 namespace slim {
@@ -531,6 +532,7 @@ int Main(int argc, char** argv) {
   bench::JsonWriter json;
   json.BeginObject();
   json.Key("schema").Value("slim-bench-scale-v1");
+  json.Key("build").Value(slim::BuildGitDescribe());
   json.Key("workload").Value("checkin");
   json.Key("quick").Value(quick);
   json.Key("hardware_threads")

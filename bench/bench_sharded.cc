@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/build_info.h"
 #include "eval/table.h"
 
 namespace slim {
@@ -464,6 +465,7 @@ int Main(int argc, char** argv) {
   bench::JsonWriter json;
   json.BeginObject();
   json.Key("schema").Value("slim-bench-sharded-v3");
+  json.Key("build").Value(slim::BuildGitDescribe());
   json.Key("workload").Value("checkin");
   json.Key("quick").Value(quick);
   json.Key("hardware_threads")

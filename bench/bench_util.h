@@ -205,7 +205,8 @@ struct PipelineRunRecord {
 inline bool IsKnownBenchKey(const std::string& key) {
   static const char* const kKnown[] = {
       // Document level.
-      "schema", "workload", "quick", "hardware_threads", "deterministic",
+      "schema", "build", "workload", "quick", "hardware_threads",
+      "deterministic",
       "runs", "monolithic_probes", "extrapolated_monolithic",
       "rss_reduction_vs_extrapolated", "target_entities", "exponent",
       // Scale-bench document level (slim-bench-scale-v1, bench_scale.cc).

@@ -1,0 +1,29 @@
+// Build provenance stamped at configure time (cmake/build_info.cc.in).
+//
+// CMake runs `git describe --always --dirty --tags` when it configures the
+// build and bakes the result into the slim::build_info library, together
+// with the project version and the schema versions this binary speaks
+// (SBIN, SCTX, the slim_link bench JSON, the slim_serve wire protocol).
+// Every CLI tool prints the string for `--version`, benches record it in
+// their JSON documents, and the slim_serve handshake returns it so CI
+// smoke logs identify the binary under test.
+//
+// The stamp is frozen at configure time: rebuilding after new commits
+// without re-running CMake keeps the old describe output. CI always
+// configures from scratch, so workflow logs are accurate; locally the
+// `-dirty` suffix plus the hash is close enough for triage.
+#ifndef SLIM_COMMON_BUILD_INFO_H_
+#define SLIM_COMMON_BUILD_INFO_H_
+
+namespace slim {
+
+/// `git describe --always --dirty --tags` output at configure time, or
+/// "unknown" when the source tree was not a git checkout.
+const char* BuildGitDescribe();
+
+/// One-line build identity: "slim <version> (<git describe>) schemas: ...".
+const char* BuildVersionString();
+
+}  // namespace slim
+
+#endif  // SLIM_COMMON_BUILD_INFO_H_

@@ -38,29 +38,6 @@ struct CandidateCsr {
   }
 };
 
-// The query-grid span of the FULL problem (union of both stores' occupied
-// windows). Every LSH build — monolithic or shard — pins its grid to this
-// span, so signatures never depend on which right-side subset was indexed.
-LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx) {
-  int64_t lo = std::numeric_limits<int64_t>::max();
-  int64_t hi = std::numeric_limits<int64_t>::min();
-  // Each entity's sorted window list bounds its occupancy exactly as its
-  // tree's min/max do — reading the CSR keeps this usable on SCTX-loaded
-  // contexts that skipped the tree rebuild.
-  auto widen = [&](const HistoryStore& store) {
-    for (EntityIdx k = 0; k < store.size(); ++k) {
-      const std::span<const int64_t> windows = store.windows(k);
-      if (windows.empty()) continue;
-      lo = std::min(lo, windows.front());
-      hi = std::max(hi, windows.back());
-    }
-  };
-  widen(ctx.store_e);
-  widen(ctx.store_i);
-  if (lo > hi) return {0, 0};
-  return {lo, hi + 1};
-}
-
 // Every cross pair of the block: [left_begin, left_end) x [begin, end).
 class BruteForceCandidates final : public CandidateGenerator {
  public:
@@ -222,6 +199,26 @@ class GridBlockingCandidates final : public CandidateGenerator {
 };
 
 }  // namespace
+
+LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  // Each entity's sorted window list bounds its occupancy exactly as its
+  // tree's min/max do — reading the CSR keeps this usable on SCTX-loaded
+  // contexts that skipped the tree rebuild.
+  auto widen = [&](const HistoryStore& store) {
+    for (EntityIdx k = 0; k < store.size(); ++k) {
+      const std::span<const int64_t> windows = store.windows(k);
+      if (windows.empty()) continue;
+      lo = std::min(lo, windows.front());
+      hi = std::max(hi, windows.back());
+    }
+  };
+  widen(ctx.store_e);
+  widen(ctx.store_i);
+  if (lo > hi) return {0, 0};
+  return {lo, hi + 1};
+}
 
 std::string_view CandidateKindName(CandidateKind kind) {
   switch (kind) {

@@ -76,6 +76,14 @@ class CandidateGenerator {
   virtual uint64_t total_candidate_pairs() const = 0;
 };
 
+/// The query-grid span of the FULL problem (union of both stores'
+/// occupied windows; [0, 0) when nothing is occupied). Every LSH build —
+/// monolithic, shard, or incremental epoch — pins its grid to this span,
+/// so signatures never depend on which subset was indexed; the
+/// incremental linker (core/incremental.h) compares it across epochs to
+/// decide whether cached LSH signatures are still valid.
+LshWindowSpan GlobalWindowSpan(const LinkageContext& ctx);
+
 /// Builds the candidate index of `kind` over the context. `lsh_config` is
 /// consulted only by kLsh, `grid_config` only by kGrid. Construction is
 /// data-parallel over `threads` workers and identical at every thread

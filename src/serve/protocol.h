@@ -1,0 +1,75 @@
+// Wire protocol of the slim_serve daemon: "slim-serve-v1".
+//
+// Newline-delimited text over a local stream socket. Every request is one
+// line; every response is one line beginning "OK" or
+// "ERR <code> <message>". The only unsolicited traffic is "EVENT ..."
+// lines pushed to connections that issued SUBSCRIBE. Scores are formatted
+// with FormatFixed(score, 6) — the exact formatting of the links CSV
+// (eval/links_io.h), so a TOPK score and a SAVE'd CSV row agree byte for
+// byte. Full protocol reference: docs/SERVING.md.
+//
+// Commands (case-sensitive, single-space separated):
+//   INGEST <A|B> (<entity> <lat> <lng> <timestamp>)+
+//   LINK
+//   TOPK <entity> [k]
+//   SUBSCRIBE
+//   STATS
+//   SAVE <path>
+//   SHUTDOWN
+#ifndef SLIM_SERVE_PROTOCOL_H_
+#define SLIM_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/linkage_context.h"
+#include "data/record.h"
+
+namespace slim {
+
+/// Hard cap on one protocol line (request or response), terminator
+/// excluded. The server rejects longer requests with ERR too-long and
+/// discards input until the next newline.
+inline constexpr size_t kMaxProtocolLineBytes = 64 * 1024;
+
+/// Protocol identifier returned in the handshake.
+inline constexpr std::string_view kServeProtocolVersion = "slim-serve-v1";
+
+enum class ServeCommandKind {
+  kIngest,
+  kLink,
+  kTopK,
+  kSubscribe,
+  kStats,
+  kSave,
+  kShutdown,
+};
+
+/// One parsed request line.
+struct ServeCommand {
+  ServeCommandKind kind = ServeCommandKind::kLink;
+  LinkageSide side = LinkageSide::kE;  // INGEST
+  std::vector<Record> records;         // INGEST
+  EntityId entity = 0;                 // TOPK
+  size_t k = 5;                        // TOPK (default 5)
+  std::string path;                    // SAVE
+};
+
+/// Parses one request line (no terminator). Errors carry the wire error
+/// code as the first word of the message ("bad-command ..." /
+/// "bad-argument ..."), ready for FormatServeError.
+Result<ServeCommand> ParseServeCommand(std::string_view line);
+
+/// "ERR <code-and-message>" — `detail` must already lead with the error
+/// code word (bad-command, bad-argument, too-long, shutdown, io).
+std::string FormatServeError(std::string_view detail);
+
+/// Score formatting shared with the links CSV (6-digit FormatFixed).
+std::string FormatServeScore(double score);
+
+}  // namespace slim
+
+#endif  // SLIM_SERVE_PROTOCOL_H_

@@ -1,0 +1,46 @@
+// Unix-domain-socket line server wrapping LinkageService.
+//
+// Single-threaded by design: one poll loop accepts connections, reads
+// newline-framed requests, and executes them strictly in arrival order —
+// so epochs, responses, and subscriber event streams are deterministic
+// for any scripted client sequence (the linkage work inside an epoch
+// still parallelises over SlimConfig::threads). Responses and events are
+// written before the next request is read.
+//
+// Framing: requests end in '\n' (a trailing '\r' is stripped). A request
+// longer than kMaxProtocolLineBytes is answered with ERR too-long and
+// the connection's input is discarded up to the next newline. A client
+// that disconnects mid-line is dropped silently.
+//
+// Shutdown: a SHUTDOWN command answers "OK bye", then the server closes
+// every connection, unlinks the socket path, and returns. An external
+// stop flag (SIGINT/SIGTERM in slim_serve) is honoured at the next poll
+// tick, same cleanup.
+#ifndef SLIM_SERVE_SERVER_H_
+#define SLIM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace slim {
+
+struct ServeOptions {
+  /// Filesystem path of the listening AF_UNIX socket. A stale file at
+  /// the path is unlinked before binding.
+  std::string socket_path;
+  /// How often the loop wakes to check `stop` when idle.
+  int poll_interval_ms = 200;
+};
+
+/// Binds, listens, and serves until SHUTDOWN or `*stop` becomes true.
+/// Returns Ok on a clean shutdown, an error Status when the socket could
+/// not be created or bound.
+Status RunServer(const ServeOptions& options, LinkageService* service,
+                 const std::atomic<bool>* stop = nullptr);
+
+}  // namespace slim
+
+#endif  // SLIM_SERVE_SERVER_H_

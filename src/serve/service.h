@@ -1,0 +1,63 @@
+// Transport-free command executor of the slim_serve daemon.
+//
+// LinkageService owns the IncrementalLinker and turns parsed protocol
+// lines into response lines, independent of any socket — the unit tests
+// (tests/test_serve_protocol.cc) drive it directly, and the server
+// (serve/server.h) is a thin framing loop around it.
+//
+// Determinism: responses are pure functions of the command sequence
+// executed so far (scores via FormatFixed, link sets from the
+// incremental engine's bit-identity contract), so a scripted session
+// always yields the same byte stream. Event lines for SUBSCRIBErs are
+// emitted in (u, v)-sorted order, removals before additions.
+#ifndef SLIM_SERVE_SERVICE_H_
+#define SLIM_SERVE_SERVICE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/slim.h"
+#include "serve/protocol.h"
+
+namespace slim {
+
+/// Everything one executed command produced.
+struct ServeReply {
+  /// The single response line for the issuing connection (unterminated).
+  std::string line;
+  /// Broadcast lines for every subscribed connection (LINK only).
+  std::vector<std::string> events;
+  /// The issuing connection asked to become a subscriber.
+  bool subscribe = false;
+  /// The daemon must stop accepting and exit after delivering `line`.
+  bool shutdown = false;
+};
+
+class LinkageService {
+ public:
+  explicit LinkageService(SlimConfig config);
+
+  /// The handshake line greeting every new connection: protocol version
+  /// plus build provenance (common/build_info.h).
+  std::string HelloLine() const;
+
+  /// Parses and executes one request line. Never throws; malformed or
+  /// post-shutdown input comes back as an "ERR ..." response line.
+  ServeReply Execute(std::string_view line);
+
+  /// True once SHUTDOWN was accepted: every later command (including
+  /// INGEST) is refused with ERR shutdown.
+  bool shut_down() const { return shut_down_; }
+
+  const IncrementalLinker& linker() const { return linker_; }
+
+ private:
+  IncrementalLinker linker_;
+  bool shut_down_ = false;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_SERVE_SERVICE_H_

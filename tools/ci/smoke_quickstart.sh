@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI smoke: the quickstart example, the CLI link flow, and sharded-driver
+# parity (the sharded driver must reproduce the monolithic links exactly).
+#
+# Runs locally too:  tools/ci/smoke_quickstart.sh [build_dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/examples/quickstart"
+
+"$BUILD/tools/slim_generate" --workload cab --experiment \
+  --out_prefix "$TMP/exp_" --entities 40 --days 1
+"$BUILD/tools/slim_link" --a "$TMP/exp_a.csv" --b "$TMP/exp_b.csv" \
+  --out "$TMP/links.csv"
+"$BUILD/tools/slim_link" --a "$TMP/exp_a.csv" --b "$TMP/exp_b.csv" \
+  --out "$TMP/links_sharded.csv" --shards 3
+cmp "$TMP/links.csv" "$TMP/links_sharded.csv"
+
+echo "smoke_quickstart: OK"

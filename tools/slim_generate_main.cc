@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/build_info.h"
 #include "flags.h"
 #include "slim.h"
 
@@ -38,7 +39,8 @@ void Usage() {
       "  --seed S           RNG seed (default 42)\n"
       "  --intersection R   entity intersection ratio (default 0.5)\n"
       "  --inclusion P      record inclusion probability (default 0.5)\n"
-      "  --side_entities N  entities per experiment side (default: auto)\n");
+      "  --side_entities N  entities per experiment side (default: auto)\n"
+      "  --version          print the build/version string and exit\n");
 }
 
 // Preset-dependent defaults; every explicit flag still wins.
@@ -87,6 +89,10 @@ slim::LocationDataset Generate(const slim::tools::Flags& flags,
 
 int main(int argc, char** argv) {
   slim::tools::Flags flags(argc, argv);
+  if (flags.GetBool("version", false)) {
+    std::printf("%s\n", slim::BuildVersionString());
+    return 0;
+  }
   GenerateDefaults defaults;
   const std::string preset = flags.GetString("preset", "");
   if (preset == "sm100k") {

@@ -18,6 +18,7 @@
 // Output CSV: entity_a,entity_b,score.
 #include <cstdio>
 
+#include "common/build_info.h"
 #include "flags.h"
 #include "slim.h"
 
@@ -103,13 +104,18 @@ void Usage() {
       "  --bench_json PATH     also write per-stage wall times, distance-\n"
       "                        cache efficacy, peak RSS, and shard\n"
       "                        provenance as JSON (schema\n"
-      "                        slim-link-bench-v4; see docs/BENCHMARKS.md)\n");
+      "                        slim-link-bench-v5; see docs/BENCHMARKS.md)\n"
+      "  --version             print the build/version string and exit\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   slim::tools::Flags flags(argc, argv);
+  if (flags.GetBool("version", false)) {
+    std::printf("%s\n", slim::BuildVersionString());
+    return 0;
+  }
   const std::string path_a = flags.GetString("a", "");
   const std::string path_b = flags.GetString("b", "");
   const std::string path_out = flags.GetString("out", "");
@@ -281,7 +287,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"slim-link-bench-v4\",\n"
+        "  \"schema\": \"slim-link-bench-v5\",\n"
+        "  \"build\": \"%s\",\n"
         "  \"a\": \"%s\",\n"
         "  \"b\": \"%s\",\n"
         "  \"entities_a\": %zu,\n"
@@ -317,6 +324,7 @@ int main(int argc, char** argv) {
         "    \"total\": %llu\n"
         "  }\n"
         "}\n",
+        JsonEscape(slim::BuildGitDescribe()).c_str(),
         JsonEscape(path_a).c_str(), JsonEscape(path_b).c_str(),
         a->num_entities(), b->num_entities(),
         config.threads > 0 ? config.threads : slim::DefaultThreadCount(),

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
 #include "flags.h"
 #include "slim.h"
 
@@ -49,7 +50,8 @@ void Usage() {
       "lsh)\n"
       "  --threads N        worker threads (default: SLIM_THREADS env)\n"
       "  --shards K         run every point through the sharded driver\n"
-      "  --min_records N    drop entities with fewer records (default 6)\n");
+      "  --min_records N    drop entities with fewer records (default 6)\n"
+      "  --version          print the build/version string and exit\n");
 }
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -170,6 +172,10 @@ slim::SweepWorkloadResult SweepPair(
 
 int main(int argc, char** argv) {
   slim::tools::Flags flags(argc, argv);
+  if (flags.GetBool("version", false)) {
+    std::printf("%s\n", slim::BuildVersionString());
+    return 0;
+  }
   const std::string out_path = flags.GetString("out", "");
   if (out_path.empty()) {
     Usage();
